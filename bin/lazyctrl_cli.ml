@@ -1,0 +1,261 @@
+(* lazyctrl — command-line driver for the LazyCtrl reproduction.
+
+   Subcommands:
+     simulate    run a day-long (or shorter) whole-network simulation
+     group       compute a switch grouping for a generated workload
+     trace       generate a trace and print its characteristics
+     experiment  run one of the paper's tables/figures (same targets as
+                 bench/main.exe)
+*)
+
+open Cmdliner
+open Lazyctrl_sim
+open Lazyctrl_topo
+open Lazyctrl_traffic
+open Lazyctrl_core
+open Lazyctrl_controller
+open Lazyctrl_metrics
+module Prng = Lazyctrl_util.Prng
+module Table = Lazyctrl_util.Table
+module E = Lazyctrl_experiments
+
+(* --- shared args ------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let switches_arg =
+  Arg.(
+    value & opt int 68
+    & info [ "switches" ] ~docv:"N" ~doc:"Number of edge switches.")
+
+let tenants_arg =
+  Arg.(value & opt int 30 & info [ "tenants" ] ~docv:"N" ~doc:"Number of tenants.")
+
+let flows_arg =
+  Arg.(
+    value & opt int 50_000
+    & info [ "flows" ] ~docv:"N" ~doc:"Number of flows to generate/replay.")
+
+let hours_arg =
+  Arg.(
+    value & opt int 24
+    & info [ "hours" ] ~docv:"H" ~doc:"Simulated duration in hours (1-24).")
+
+let limit_arg =
+  Arg.(
+    value & opt int 24
+    & info [ "group-size-limit" ] ~docv:"L" ~doc:"Group size limit for SGI.")
+
+let make_spec ~switches ~tenants =
+  {
+    Placement.n_switches = switches;
+    n_tenants = tenants;
+    tenant_size_min = 20;
+    tenant_size_max = 100;
+    racks_per_tenant = 4;
+    stray_fraction = 0.05;
+  }
+
+let build_workload ~seed ~switches ~tenants ~flows ~hours =
+  let topo =
+    Placement.generate ~rng:(Prng.create seed) (make_spec ~switches ~tenants)
+  in
+  let hours = max 1 (min 24 hours) in
+  let trace =
+    Gen.real_like
+      ~rng:(Prng.create (seed + 1))
+      ~topo ~n_flows:flows
+      ~duration:(Time.of_hour hours)
+      ()
+  in
+  (topo, trace, Time.of_hour hours)
+
+(* --- simulate ----------------------------------------------------------------- *)
+
+let simulate mode_str seed switches tenants flows hours limit =
+  let topo, trace, horizon =
+    build_workload ~seed ~switches ~tenants ~flows ~hours
+  in
+  let mode =
+    match mode_str with "openflow" -> Network.Openflow | _ -> Network.Lazy
+  in
+  Printf.printf "simulating %s: %d switches, %d hosts, %d flows over %d h\n%!"
+    (match mode with Network.Lazy -> "LazyCtrl" | Network.Openflow -> "standard OpenFlow")
+    (Topology.n_switches topo) (Topology.n_hosts topo) (Trace.n_flows trace)
+    hours;
+  let net =
+    Network.create
+      ~controller_config:
+        { Controller.default_config with Controller.group_size_limit = limit }
+      ~mode ~topo ~horizon ()
+  in
+  (match mode with
+  | Network.Lazy ->
+      let first_hour =
+        Analysis.switch_intensity ~until:(Time.of_hour 1) ~topo trace
+      in
+      Network.bootstrap net ~intensity:first_hour ()
+  | Network.Openflow -> ());
+  Network.replay net trace;
+  Network.run net ~until:horizon;
+  let recorder = Network.recorder net in
+  let hm = Network.host_model net in
+  Printf.printf "flows delivered: %d / %d\n" (Host_model.flows_delivered hm)
+    (Host_model.flows_started hm);
+  Printf.printf "controller requests: %d (%.3f/s avg)\n"
+    (Recorder.total_requests recorder)
+    (Float.of_int (Recorder.total_requests recorder)
+    /. Time.to_float_sec horizon);
+  (match Network.lazy_controller net with
+  | Some c ->
+      let s = Controller.stats c in
+      Printf.printf
+        "  packet-ins %d | ARP escalations %d | state reports %d | grouping updates %d\n"
+        s.Controller.packet_ins s.Controller.arp_escalations
+        s.Controller.state_reports s.Controller.grouping_updates
+  | None -> ());
+  let sw = Network.switch_stats_sum net in
+  (match mode with
+  | Network.Lazy ->
+      Printf.printf
+        "data plane: L-FIB %d | G-FIB %d | duplicates %d | FP drops %d\n"
+        sw.Lazyctrl_switch.Edge_switch.lfib_handled
+        sw.Lazyctrl_switch.Edge_switch.gfib_handled
+        sw.Lazyctrl_switch.Edge_switch.gfib_duplicates
+        sw.Lazyctrl_switch.Edge_switch.fp_drops
+  | Network.Openflow -> ());
+  let tbl = Table.create [ "hour bucket"; "workload (req/s)"; "avg latency (ms)" ] in
+  let rates = Recorder.workload_rps recorder in
+  let lats = Recorder.latency_ms_series recorder in
+  Array.iteri
+    (fun i r ->
+      Table.add_row tbl
+        [
+          Recorder.bucket_label recorder i;
+          Table.cell_float ~decimals:3 r;
+          Table.cell_float ~decimals:3 lats.(i);
+        ])
+    rates;
+  Table.print tbl
+
+let simulate_cmd =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("lazy", "lazy"); ("openflow", "openflow") ]) "lazy"
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Control plane: lazy or openflow.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a whole-network simulation.")
+    Term.(
+      const simulate $ mode $ seed_arg $ switches_arg $ tenants_arg $ flows_arg
+      $ hours_arg $ limit_arg)
+
+(* --- group --------------------------------------------------------------------- *)
+
+let group seed switches tenants flows limit =
+  let topo, trace, _ = build_workload ~seed ~switches ~tenants ~flows ~hours:24 in
+  let intensity = Analysis.switch_intensity ~topo trace in
+  let t0 = Sys.time () in
+  let grouping =
+    Lazyctrl_grouping.Sgi.ini_group ~rng:(Prng.create seed) ~limit intensity
+  in
+  let dt = Sys.time () -. t0 in
+  Printf.printf
+    "grouped %d switches into %d LCGs (max size %d) in %.3f s\n"
+    (Topology.n_switches topo)
+    (Lazyctrl_grouping.Grouping.n_groups grouping)
+    (Lazyctrl_grouping.Grouping.max_group_size grouping)
+    dt;
+  Printf.printf "normalized inter-group traffic intensity: %.2f%%\n"
+    (100.0 *. Lazyctrl_grouping.Grouping.normalized_inter intensity grouping);
+  let sizes = Lazyctrl_grouping.Grouping.sizes grouping in
+  Printf.printf "group sizes: %s\n"
+    (String.concat ", " (Array.to_list (Array.map string_of_int sizes)))
+
+let group_cmd =
+  Cmd.v
+    (Cmd.info "group" ~doc:"Run SGI's initial grouping on a generated workload.")
+    Term.(const group $ seed_arg $ switches_arg $ tenants_arg $ flows_arg $ limit_arg)
+
+(* --- trace ---------------------------------------------------------------------- *)
+
+let trace_cmd_run seed switches tenants flows out =
+  let topo, trace, _ = build_workload ~seed ~switches ~tenants ~flows ~hours:24 in
+  Printf.printf "topology: %d switches, %d hosts, %d tenants\n"
+    (Topology.n_switches topo) (Topology.n_hosts topo)
+    (List.length (Topology.tenants topo));
+  Printf.printf "trace: %d flows, %d communicating pairs, %d bytes\n"
+    (Trace.n_flows trace)
+    (Trace.communicating_pairs trace)
+    (Trace.total_bytes trace);
+  Printf.printf "top-10%% pair skew: %.2f\n" (Analysis.skew trace ~top_fraction:0.1);
+  Printf.printf "avg 5-way centrality: %.3f\n"
+    (Analysis.avg_centrality ~rng:(Prng.create (seed + 2)) ~k:5 trace);
+  Printf.printf "peak flow arrival rate: %.2f flows/s\n"
+    (Analysis.flows_per_second_peak trace ~bucket:(Time.of_min 10));
+  match out with
+  | Some path ->
+      Trace.save trace path;
+      Printf.printf "trace written to %s\n" path
+  | None -> ()
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Save the trace in binary form.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Generate a real-like trace and print its statistics.")
+    Term.(const trace_cmd_run $ seed_arg $ switches_arg $ tenants_arg $ flows_arg $ out)
+
+(* --- experiment ------------------------------------------------------------------ *)
+
+let experiment name quick =
+  let print = Table.print in
+  match name with
+  | "table2" -> print (E.Grouping_exp.table2 ())
+  | "fig6a" -> print (E.Grouping_exp.fig6a ())
+  | "fig6b" -> print (E.Grouping_exp.fig6b ())
+  | "fig7" ->
+      print (E.Daylong.fig7_table ?n_flows:(if quick then Some 30_000 else None) ())
+  | "fig8" ->
+      print (E.Daylong.fig8_table ?n_flows:(if quick then Some 30_000 else None) ())
+  | "fig9" ->
+      print (E.Daylong.fig9_table ?n_flows:(if quick then Some 30_000 else None) ())
+  | "table1" ->
+      print (E.Failover_exp.inference_table ());
+      print (E.Failover_exp.endtoend_table ())
+  | "coldcache" -> print (E.Coldcache.table ())
+  | "storage" -> print (E.Storage_exp.table ())
+  | "ablate-size" -> print (E.Ablation.group_size_table ())
+  | "ablate-negotiation" -> print (E.Ablation.negotiation_table ())
+  | "ablate-bloom" -> print (E.Ablation.bloom_table ())
+  | other -> Printf.eprintf "unknown experiment %S\n" other
+
+let experiment_cmd =
+  let exp_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "table1 | table2 | fig6a | fig6b | fig7 | fig8 | fig9 | coldcache \
+             | storage | ablate-size | ablate-negotiation | ablate-bloom")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller workloads, faster runs.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Re-run one of the paper's tables or figures.")
+    Term.(const experiment $ exp_name $ quick)
+
+let () =
+  let info =
+    Cmd.info "lazyctrl" ~version:"1.0.0"
+      ~doc:"LazyCtrl: scalable hybrid network control (ICDCS 2015) — simulator CLI"
+  in
+  exit (Cmd.eval (Cmd.group info [ simulate_cmd; group_cmd; trace_cmd; experiment_cmd ]))

@@ -1,0 +1,82 @@
+(* Quickstart: build a small multi-tenant data center, run LazyCtrl over
+   it, push some traffic, and watch the controller stay lazy.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Lazyctrl_net
+open Lazyctrl_sim
+open Lazyctrl_topo
+open Lazyctrl_core
+open Lazyctrl_controller
+module Prng = Lazyctrl_util.Prng
+
+let () =
+  (* 1. A topology: 12 edge switches, 6 tenants with rack affinity. *)
+  let topo =
+    Placement.generate ~rng:(Prng.create 7)
+      {
+        Placement.n_switches = 12;
+        n_tenants = 6;
+        tenant_size_min = 10;
+        tenant_size_max = 20;
+        racks_per_tenant = 2;
+        stray_fraction = 0.05;
+      }
+  in
+  Printf.printf "topology: %d switches, %d hosts, %d tenants\n"
+    (Topology.n_switches topo) (Topology.n_hosts topo)
+    (List.length (Topology.tenants topo));
+
+  (* 2. A LazyCtrl network over it (the controller groups the switches
+        into LCGs of at most 4 at bootstrap). *)
+  let net =
+    Network.create
+      ~controller_config:
+        { Controller.default_config with Controller.group_size_limit = 4 }
+      ~mode:Network.Lazy ~topo ~horizon:(Time.of_min 30) ()
+  in
+  Network.bootstrap net ();
+  Network.run net ~until:(Time.of_sec 30);
+
+  let controller = Option.get (Network.lazy_controller net) in
+  let grouping = Option.get (Controller.grouping controller) in
+  Printf.printf "grouping: %d local control groups (max size %d)\n"
+    (Lazyctrl_grouping.Grouping.n_groups grouping)
+    (Lazyctrl_grouping.Grouping.max_group_size grouping);
+
+  (* 3. Traffic: every tenant's first host talks to its other hosts. *)
+  let flows = ref 0 in
+  List.iter
+    (fun tenant ->
+      match Topology.tenant_hosts topo tenant with
+      | first :: rest ->
+          List.iter
+            (fun (peer : Host.t) ->
+              incr flows;
+              Network.start_flow net ~src:first.Host.id ~dst:peer.id
+                ~bytes:20_000 ~packets:14)
+            rest
+      | [] -> ())
+    (Topology.tenants topo);
+  Network.run net ~until:(Time.of_min 5);
+
+  (* 4. Where did the work happen? *)
+  let hm = Network.host_model net in
+  let sw = Network.switch_stats_sum net in
+  let cs = Controller.stats controller in
+  Printf.printf "flows: %d started, %d delivered\n" !flows
+    (Host_model.flows_delivered hm);
+  Printf.printf "data plane handled: %d local (L-FIB), %d intra-group (G-FIB)\n"
+    sw.Lazyctrl_switch.Edge_switch.lfib_handled
+    sw.Lazyctrl_switch.Edge_switch.gfib_handled;
+  Printf.printf "controller handled: %d packet-ins, %d ARP escalations\n"
+    cs.Controller.packet_ins cs.Controller.arp_escalations;
+  let total_first_packets = Host_model.flows_delivered hm in
+  Printf.printf
+    "laziness: the controller saw %d of %d first packets (%.0f%% stayed in the data plane)\n"
+    cs.Controller.packet_ins total_first_packets
+    (100.
+    *. (1.
+       -. (Float.of_int cs.Controller.packet_ins
+          /. Float.of_int (max 1 total_first_packets))))

@@ -1,0 +1,142 @@
+open Lazyctrl_net
+open Lazyctrl_sim
+open Lazyctrl_openflow
+
+(* See of_switch.mli for the behavioural contract. *)
+
+type msg = unit Message.t
+
+type env = {
+  engine : Engine.t;
+  send_controller : msg -> unit;
+  send_underlay : Packet.t -> unit;
+  deliver_local : Host.t -> Packet.t -> unit;
+  underlay_ip : Ipv4.t;
+}
+
+type stats = {
+  packets_from_hosts : int;
+  packets_delivered : int;
+  encap_sent : int;
+  flow_table_handled : int;
+  punted : int;
+}
+
+type t = {
+  env : env;
+  table : Flow_table.t;
+  ports : (int, Host.t) Hashtbl.t; (* mac -> locally attached host *)
+  mutable s_from_hosts : int;
+  mutable s_delivered : int;
+  mutable s_encap : int;
+  mutable s_flow_table : int;
+  mutable s_punted : int;
+}
+
+let create env ~flow_table_capacity =
+  {
+    env;
+    table = Flow_table.create ~capacity:flow_table_capacity ();
+    ports = Hashtbl.create 32;
+    s_from_hosts = 0;
+    s_delivered = 0;
+    s_encap = 0;
+    s_flow_table = 0;
+    s_punted = 0;
+  }
+
+let attach_host t (h : Host.t) = Hashtbl.replace t.ports (Mac.to_int h.mac) h
+
+let detach_host t (h : Host.t) = Hashtbl.remove t.ports (Mac.to_int h.mac)
+
+let now t = Engine.now t.env.engine
+
+let deliver t host pkt =
+  t.s_delivered <- t.s_delivered + 1;
+  t.env.deliver_local host pkt
+
+let flood_local t (eth : Packet.eth) =
+  let sender_tenant =
+    Option.map
+      (fun (h : Host.t) -> h.tenant)
+      (Hashtbl.find_opt t.ports (Mac.to_int eth.src))
+  in
+  Hashtbl.iter
+    (fun _ (h : Host.t) ->
+      let same_tenant =
+        match sender_tenant with
+        | Some ten -> Ids.Tenant_id.equal h.tenant ten
+        | None -> true
+      in
+      if same_tenant && not (Mac.equal h.mac eth.src) then
+        deliver t h (Packet.Plain eth))
+    t.ports
+
+let apply_actions t packet actions =
+  let eth = Packet.eth_of packet in
+  List.iter
+    (function
+      | Action.Deliver hid -> (
+          let found =
+            Hashtbl.fold
+              (fun _ (h : Host.t) acc ->
+                if Ids.Host_id.equal h.id hid then Some h else acc)
+              t.ports None
+          in
+          match found with Some h -> deliver t h packet | None -> ())
+      | Action.Encap ip ->
+          t.s_encap <- t.s_encap + 1;
+          t.env.send_underlay
+            (Packet.encap ~outer_src:t.env.underlay_ip ~outer_dst:ip eth)
+      | Action.Flood_local -> flood_local t eth
+      | Action.To_controller ->
+          t.s_punted <- t.s_punted + 1;
+          t.env.send_controller
+            (Message.Packet_in { packet; reason = Message.Action_punt })
+      | Action.Drop -> ())
+    actions
+
+let handle_from_host t (_host : Host.t) packet =
+  t.s_from_hosts <- t.s_from_hosts + 1;
+  let eth = Packet.eth_of packet in
+  match Flow_table.lookup t.table ~now:(now t) eth with
+  | Some actions ->
+      t.s_flow_table <- t.s_flow_table + 1;
+      apply_actions t packet actions
+  | None ->
+      t.s_punted <- t.s_punted + 1;
+      t.env.send_controller
+        (Message.Packet_in { packet; reason = Message.No_match })
+
+let handle_underlay t packet =
+  match packet with
+  | Packet.Plain _ -> ()
+  | Packet.Encap { inner; _ } -> (
+      (* Delivery to the learned port; the physical port mapping plays the
+         role of the installed output rule at the last hop. *)
+      match Hashtbl.find_opt t.ports (Mac.to_int inner.dst) with
+      | Some host -> deliver t host (Packet.Plain inner)
+      | None -> ())
+
+let handle_controller_message t msg =
+  match msg with
+  | Message.Flow_mod (Message.Add entry) ->
+      Flow_table.install t.table ~now:(now t) entry
+  | Message.Flow_mod (Message.Delete m) ->
+      ignore (Flow_table.remove_matching t.table m)
+  | Message.Packet_out { packet; actions } -> apply_actions t packet actions
+  | Message.Echo_request n -> t.env.send_controller (Message.Echo_reply n)
+  | Message.Hello | Message.Echo_reply _ | Message.Packet_in _
+  | Message.Extension () ->
+      ()
+
+let flow_table t = t.table
+
+let stats t =
+  {
+    packets_from_hosts = t.s_from_hosts;
+    packets_delivered = t.s_delivered;
+    encap_sent = t.s_encap;
+    flow_table_handled = t.s_flow_table;
+    punted = t.s_punted;
+  }

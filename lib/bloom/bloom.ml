@@ -1,0 +1,170 @@
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+(* Two independent hashes for Kirsch–Mitzenmacher double hashing. *)
+let hash_pair key =
+  let h1 = mix64 (Int64.of_int key) in
+  let h2 = mix64 (Int64.logxor h1 0x9E3779B97F4A7C15L) in
+  (* Force h2 odd so the probe sequence cycles through all positions. *)
+  (Int64.to_int h1 land max_int, (Int64.to_int h2 land max_int) lor 1)
+
+type t = { words : int64 array; nbits : int; k : int }
+
+let create ?(hashes = 4) ~bits () =
+  if bits <= 0 then invalid_arg "Bloom.create: bits must be positive";
+  if hashes <= 0 then invalid_arg "Bloom.create: hashes must be positive";
+  let nwords = (bits + 63) / 64 in
+  { words = Array.make nwords 0L; nbits = nwords * 64; k = hashes }
+
+let optimal_bits ~expected ~fp_rate =
+  if expected <= 0 then invalid_arg "Bloom.optimal_bits: expected <= 0";
+  if fp_rate <= 0.0 || fp_rate >= 1.0 then
+    invalid_arg "Bloom.optimal_bits: fp_rate outside (0,1)";
+  let ln2 = Float.log 2.0 in
+  int_of_float
+    (Float.ceil (-.Float.of_int expected *. Float.log fp_rate /. (ln2 *. ln2)))
+
+let optimal_hashes ~bits ~expected =
+  if expected <= 0 then 1
+  else
+    max 1
+      (int_of_float
+         (Float.round (Float.of_int bits /. Float.of_int expected *. Float.log 2.0)))
+
+let create_for ~expected ~fp_rate =
+  let bits = optimal_bits ~expected ~fp_rate in
+  create ~hashes:(optimal_hashes ~bits ~expected) ~bits ()
+
+let set_bit t i =
+  let w = i lsr 6 and b = i land 63 in
+  t.words.(w) <- Int64.logor t.words.(w) (Int64.shift_left 1L b)
+
+let get_bit t i =
+  let w = i lsr 6 and b = i land 63 in
+  Int64.logand (Int64.shift_right_logical t.words.(w) b) 1L <> 0L
+
+let add t key =
+  let h1, h2 = hash_pair key in
+  for i = 0 to t.k - 1 do
+    set_bit t (((h1 + (i * h2)) land max_int) mod t.nbits)
+  done
+
+let mem t key =
+  let h1, h2 = hash_pair key in
+  let rec probe i = i >= t.k || (get_bit t (((h1 + (i * h2)) land max_int) mod t.nbits) && probe (i + 1)) in
+  probe 0
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0L
+
+let bits t = t.nbits
+let hashes t = t.k
+
+let popcount64 x =
+  let rec go acc x = if x = 0L then acc else go (acc + 1) Int64.(logand x (sub x 1L)) in
+  go 0 x
+
+let ones t = Array.fold_left (fun acc w -> acc + popcount64 w) 0 t.words
+
+let fill_ratio t = Float.of_int (ones t) /. Float.of_int t.nbits
+
+let estimated_entries t =
+  let x = ones t in
+  if x = 0 then 0.0
+  else if x = t.nbits then infinity
+  else
+    let m = Float.of_int t.nbits and k = Float.of_int t.k in
+    -.(m /. k) *. Float.log (1.0 -. (Float.of_int x /. m))
+
+let estimated_fp_rate t = fill_ratio t ** Float.of_int t.k
+
+let union a b =
+  if a.nbits <> b.nbits || a.k <> b.k then
+    invalid_arg "Bloom.union: mismatched geometry";
+  { a with words = Array.mapi (fun i w -> Int64.logor w b.words.(i)) a.words }
+
+let copy t = { t with words = Array.copy t.words }
+
+let of_list ?hashes ~bits keys =
+  let t = create ?hashes ~bits () in
+  List.iter (add t) keys;
+  t
+
+let to_bytes t =
+  let nwords = Array.length t.words in
+  let buf = Bytes.create (8 + (8 * nwords)) in
+  Bytes.set_int32_be buf 0 (Int32.of_int t.k);
+  Bytes.set_int32_be buf 4 (Int32.of_int nwords);
+  Array.iteri (fun i w -> Bytes.set_int64_be buf (8 + (8 * i)) w) t.words;
+  buf
+
+let of_bytes buf =
+  if Bytes.length buf < 8 then invalid_arg "Bloom.of_bytes: truncated header";
+  let k = Int32.to_int (Bytes.get_int32_be buf 0) in
+  let nwords = Int32.to_int (Bytes.get_int32_be buf 4) in
+  if k <= 0 || nwords <= 0 || Bytes.length buf <> 8 + (8 * nwords) then
+    invalid_arg "Bloom.of_bytes: malformed";
+  let words = Array.init nwords (fun i -> Bytes.get_int64_be buf (8 + (8 * i))) in
+  { words; nbits = nwords * 64; k }
+
+let equal a b = a.k = b.k && a.nbits = b.nbits && a.words = b.words
+
+let pp fmt t =
+  Format.fprintf fmt "bloom(bits=%d k=%d fill=%.3f)" t.nbits t.k (fill_ratio t)
+
+module Counting = struct
+  type plain = t
+
+  let plain_create = create
+
+  type nonrec t = { counters : Bytes.t; n : int; k : int }
+
+  let create ?(hashes = 4) ~counters () =
+    if counters <= 0 then invalid_arg "Bloom.Counting.create: size must be positive";
+    if hashes <= 0 then invalid_arg "Bloom.Counting.create: hashes must be positive";
+    (* Round up to a multiple of 64 so [to_plain] preserves the probe
+       positions ([h mod n] must agree between the two geometries). *)
+    let n = (counters + 63) / 64 * 64 in
+    { counters = Bytes.make n '\000'; n; k = hashes }
+
+  let bump t i delta =
+    let v = Bytes.get_uint8 t.counters i in
+    (* Saturating: a counter stuck at 255 is never decremented (it may
+       over-approximate, never under-approximate membership). *)
+    let v' =
+      if delta > 0 then min 255 (v + delta)
+      else if v = 255 || v = 0 then v
+      else v + delta
+    in
+    Bytes.set_uint8 t.counters i v'
+
+  let add t key =
+    let h1, h2 = hash_pair key in
+    for i = 0 to t.k - 1 do
+      bump t (((h1 + (i * h2)) land max_int) mod t.n) 1
+    done
+
+  let remove t key =
+    let h1, h2 = hash_pair key in
+    for i = 0 to t.k - 1 do
+      bump t (((h1 + (i * h2)) land max_int) mod t.n) (-1)
+    done
+
+  let mem t key =
+    let h1, h2 = hash_pair key in
+    let rec probe i =
+      i >= t.k
+      || (Bytes.get_uint8 t.counters (((h1 + (i * h2)) land max_int) mod t.n) > 0 && probe (i + 1))
+    in
+    probe 0
+
+  let clear t = Bytes.fill t.counters 0 t.n '\000'
+
+  let to_plain t =
+    let plain = plain_create ~hashes:t.k ~bits:t.n () in
+    for i = 0 to t.n - 1 do
+      if Bytes.get_uint8 t.counters i > 0 then set_bit plain i
+    done;
+    plain
+end

@@ -1,0 +1,724 @@
+open Lazyctrl_net
+open Lazyctrl_sim
+open Lazyctrl_graph
+open Lazyctrl_grouping
+open Lazyctrl_openflow
+open Lazyctrl_switch
+module Prng = Lazyctrl_util.Prng
+module Sid = Ids.Switch_id
+
+type msg = Proto.t Message.t
+
+type env = {
+  engine : Engine.t;
+  send_switch : Ids.Switch_id.t -> msg -> unit;
+  reboot_switch : Ids.Switch_id.t -> unit;
+  request_relay : Ids.Switch_id.t -> via:Ids.Switch_id.t option -> unit;
+  rng : Prng.t;
+}
+
+type config = {
+  group_size_limit : int;
+  sync_period : Time.t;
+  keepalive_period : Time.t;
+  echo_period : Time.t;
+  echo_timeout : Time.t;
+  daemon_period : Time.t;
+  min_update_interval : Time.t;
+  workload_growth_trigger : float;
+  full_regroup_growth : float;
+  max_inc_iterations : int;
+  incremental_updates : bool;
+  flow_idle_timeout : Time.t;
+  intensity_decay : float;
+  preload_on_regroup : bool;
+}
+
+let default_config =
+  {
+    group_size_limit = 48;
+    sync_period = Time.of_sec 60;
+    keepalive_period = Time.of_sec 5;
+    echo_period = Time.of_sec 15;
+    echo_timeout = Time.of_sec 40;
+    daemon_period = Time.of_sec 30;
+    min_update_interval = Time.of_min 2;
+    workload_growth_trigger = 0.30;
+    full_regroup_growth = 10.0;
+    max_inc_iterations = 8;
+    incremental_updates = true;
+    flow_idle_timeout = Time.of_min 5;
+    intensity_decay = 0.98;
+    preload_on_regroup = true;
+  }
+
+type stats = {
+  requests : int;
+  packet_ins : int;
+  arp_escalations : int;
+  state_reports : int;
+  ring_alarms : int;
+  flow_mods_sent : int;
+  packet_outs_sent : int;
+  arp_relays : int;
+  floods : int;
+  grouping_updates : int;
+  full_regroups : int;
+  failovers_handled : int;
+  preloaded_rules : int;
+}
+
+type t = {
+  env : env;
+  config : config;
+  n_switches : int;
+  clib : Clib.t;
+  monitor : Failover.Monitor.t;
+  mutable grouping : Grouping.t option;
+  configs : Proto.group_config option array; (* per switch *)
+  matrix : (int * int, float) Hashtbl.t;
+  mutable requests_total : int;
+  mutable requests_at_tick : int;
+  mutable ewma_rate : float;
+  mutable rate_at_last_update : float;
+  mutable last_update_time : Time.t;
+  mutable echo_seq : int;
+  mutable awaiting_recovery : Sid.Set.t;
+  mutable last_verdicts : Failover.verdict Sid.Map.t;
+  mutable request_hook : unit -> unit;
+  mutable update_hook : unit -> unit;
+  mutable failover_hook : Sid.t -> Failover.verdict -> unit;
+  (* stats *)
+  mutable s_packet_ins : int;
+  mutable s_arp_escalations : int;
+  mutable s_state_reports : int;
+  mutable s_ring_alarms : int;
+  mutable s_flow_mods : int;
+  mutable s_packet_outs : int;
+  mutable s_arp_relays : int;
+  mutable s_floods : int;
+  mutable s_updates : int;
+  mutable s_full_regroups : int;
+  mutable s_failovers : int;
+  mutable s_preloads : int;
+}
+
+let create env config ~n_switches =
+  {
+    env;
+    config;
+    n_switches;
+    clib = Clib.create ();
+    monitor = Failover.Monitor.create env.engine ~echo_timeout:config.echo_timeout;
+    grouping = None;
+    configs = Array.make n_switches None;
+    matrix = Hashtbl.create 1024;
+    requests_total = 0;
+    requests_at_tick = 0;
+    ewma_rate = 0.0;
+    rate_at_last_update = 0.0;
+    last_update_time = Time.zero;
+    echo_seq = 0;
+    awaiting_recovery = Sid.Set.empty;
+    last_verdicts = Sid.Map.empty;
+    request_hook = (fun () -> ());
+    update_hook = (fun () -> ());
+    failover_hook = (fun _ _ -> ());
+    s_packet_ins = 0;
+    s_arp_escalations = 0;
+    s_state_reports = 0;
+    s_ring_alarms = 0;
+    s_flow_mods = 0;
+    s_packet_outs = 0;
+    s_arp_relays = 0;
+    s_floods = 0;
+    s_updates = 0;
+    s_full_regroups = 0;
+    s_failovers = 0;
+    s_preloads = 0;
+  }
+
+let clib t = t.clib
+let monitor t = t.monitor
+let grouping t = t.grouping
+let group_config_of t sw = t.configs.(Sid.to_int sw)
+let set_request_hook t f = t.request_hook <- f
+let set_update_hook t f = t.update_hook <- f
+let set_failover_hook t f = t.failover_hook <- f
+
+let now t = Engine.now t.env.engine
+
+let request t =
+  t.requests_total <- t.requests_total + 1;
+  t.request_hook ()
+
+let send t sw msg = t.env.send_switch sw msg
+
+let underlay_ip_of sw = Ipv4.of_switch_id (Sid.to_int sw)
+
+let flow_mod t sw entry =
+  t.s_flow_mods <- t.s_flow_mods + 1;
+  send t sw (Message.Flow_mod (Message.Add entry))
+
+let packet_out t sw packet actions =
+  t.s_packet_outs <- t.s_packet_outs + 1;
+  send t sw (Message.Packet_out { packet; actions })
+
+(* --- intensity matrix ------------------------------------------------------ *)
+
+let note_intensity t a b w =
+  let a = Sid.to_int a and b = Sid.to_int b in
+  if a <> b then begin
+    let key = if a < b then (a, b) else (b, a) in
+    Hashtbl.replace t.matrix key
+      (w +. Option.value (Hashtbl.find_opt t.matrix key) ~default:0.0)
+  end
+
+let decay_matrix t =
+  let f = t.config.intensity_decay in
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun key w ->
+      let w' = w *. f in
+      if w' < 1e-6 then dead := key :: !dead else Hashtbl.replace t.matrix key w')
+    t.matrix;
+  List.iter (Hashtbl.remove t.matrix) !dead
+
+let current_intensity t =
+  let b = Wgraph.Builder.create ~n:t.n_switches in
+  Hashtbl.iter (fun (a, c) w -> Wgraph.Builder.add_edge b a c w) t.matrix;
+  Wgraph.Builder.build b
+
+(* --- group configuration push ---------------------------------------------- *)
+
+let make_group_config t ~gid ~members ~prev =
+  let designated, backups =
+    match prev with
+    | Some (p : Proto.group_config)
+      when List.exists (Sid.equal p.designated) members ->
+        (* Keep a still-present designated switch to avoid churn. *)
+        let backups =
+          List.filter
+            (fun b -> List.exists (Sid.equal b) members && not (Sid.equal b p.designated))
+            p.backups
+        in
+        (p.designated, backups)
+    | _ ->
+        let arr = Array.of_list members in
+        let d = Prng.choose t.env.rng arr in
+        (d, [])
+  in
+  let backups =
+    if backups = [] then
+      List.filteri (fun i _ -> i < 2) (List.filter (fun m -> not (Sid.equal m designated)) members)
+    else backups
+  in
+  {
+    Proto.group = gid;
+    members;
+    designated;
+    backups;
+    sync_period = t.config.sync_period;
+    keepalive_period = t.config.keepalive_period;
+  }
+
+(* Appendix B "preload for seamless grouping update": when a switch's
+   group loses a peer, packets to that peer's hosts would punt to the
+   controller until new state settles; temporary exact rules bridge the
+   window and expire on their own once the grouping is stable. *)
+let preload_departures t ~member ~old_members ~new_members =
+  (* "Related switches" only: a departing peer is worth bridging when the
+     member actually exchanges traffic with it per the intensity matrix;
+     preloading every row would swamp the control links for nothing. *)
+  let exchanges_traffic a b =
+    let a = Sid.to_int a and b = Sid.to_int b in
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt t.matrix key with
+    | Some w -> w > 0.01
+    | None -> false
+  in
+  List.iter
+    (fun departing ->
+      if
+        (not (Sid.equal departing member))
+        && (not (List.exists (Sid.equal departing) new_members))
+        && exchanges_traffic member departing
+      then
+        List.iter
+          (fun (key : Proto.host_key) ->
+            t.s_preloads <- t.s_preloads + 1;
+            flow_mod t member
+              {
+                Flow_table.priority = 5;
+                ofmatch = { Ofmatch.any with dst_mac = Some key.mac };
+                actions = [ Action.Encap (underlay_ip_of departing) ];
+                idle_timeout = None;
+                hard_timeout = Some (Time.scale t.config.sync_period 2.0);
+                cookie = 4;
+              })
+          (Clib.row t.clib departing))
+    old_members
+
+let push_group t (cfg : Proto.group_config) =
+  List.iter
+    (fun m ->
+      (if t.config.preload_on_regroup then
+         match t.configs.(Sid.to_int m) with
+         | Some old ->
+             preload_departures t ~member:m ~old_members:old.Proto.members
+               ~new_members:cfg.members
+         | None -> ());
+      t.configs.(Sid.to_int m) <- Some cfg;
+      send t m (Message.Extension (Proto.Group_config cfg)))
+    cfg.members;
+  (* Seed the designated switch with the group's known state so members
+     rebuild their G-FIBs (§III-D3 case ii). *)
+  (* Rows the C-LIB knows nothing about are omitted: an empty
+     "authoritative" row would race with (and clobber) the member's own
+     adoption-time full advert. *)
+  let lfibs =
+    List.filter_map
+      (fun m ->
+        match Clib.row t.clib m with [] -> None | row -> Some (m, row))
+      cfg.members
+  in
+  if lfibs <> [] then
+    send t cfg.designated (Message.Extension (Proto.Group_sync { lfibs }))
+
+(* Push configs for groups whose membership changed relative to the
+   switches' current configs. *)
+let apply_grouping t (g : Grouping.t) =
+  t.grouping <- Some g;
+  for gid = 0 to Grouping.n_groups g - 1 do
+    let gid_t = Ids.Group_id.of_int gid in
+    let members = Grouping.members g gid_t in
+    let prev = t.configs.(Sid.to_int (List.hd members)) in
+    let unchanged =
+      match prev with
+      | Some p ->
+          List.length p.members = List.length members
+          && List.for_all2 Sid.equal
+               (List.sort Sid.compare p.members)
+               (List.sort Sid.compare members)
+      | None -> false
+    in
+    if not unchanged then
+      push_group t (make_group_config t ~gid:gid_t ~members ~prev)
+  done
+
+(* --- grouping daemon -------------------------------------------------------- *)
+
+let run_inc_updates t =
+  match t.grouping with
+  | None -> ()
+  | Some g ->
+      let intensity = current_intensity t in
+      let rec loop g i improved =
+        if i >= t.config.max_inc_iterations then (g, improved)
+        else
+          match
+            Sgi.inc_update ~rng:t.env.rng ~limit:t.config.group_size_limit
+              ~intensity g
+          with
+          | None -> (g, improved)
+          | Some g' -> loop g' (i + 1) true
+      in
+      let old_cut = Grouping.inter_group_intensity intensity g in
+      let g', improved = loop g 0 false in
+      (* Only pay the reconfiguration cost for a significant gain —
+         at least 2% of the total observed traffic must move back inside
+         groups. This keeps the Fig. 8 update rate low on stable traffic
+         while reacting to genuine drift. *)
+      let total = Float.max (Wgraph.total_edge_weight intensity) 1e-9 in
+      let new_cut = Grouping.inter_group_intensity intensity g' in
+      let significant = old_cut -. new_cut >= 0.02 *. total in
+      let improved = improved && significant in
+      if improved then begin
+        apply_grouping t g';
+        t.s_updates <- t.s_updates + 1;
+        t.update_hook ();
+        t.last_update_time <- now t;
+        t.rate_at_last_update <- t.ewma_rate
+      end
+
+let run_full_regroup t =
+  let intensity = current_intensity t in
+  let g = Sgi.ini_group ~rng:t.env.rng ~limit:t.config.group_size_limit intensity in
+  apply_grouping t g;
+  t.s_full_regroups <- t.s_full_regroups + 1;
+  t.s_updates <- t.s_updates + 1;
+  t.update_hook ();
+  t.last_update_time <- now t;
+  t.rate_at_last_update <- t.ewma_rate
+
+(* --- failover --------------------------------------------------------------- *)
+
+let ring_neighbors_of t sw =
+  match t.configs.(Sid.to_int sw) with
+  | None -> None
+  | Some cfg -> Proto.Ring.neighbors ~members:cfg.members sw
+
+let reselect_designated t (cfg : Proto.group_config) ~exclude =
+  let eligible =
+    List.filter
+      (fun m -> not (List.exists (Sid.equal m) exclude))
+      (cfg.backups @ cfg.members)
+  in
+  match eligible with
+  | [] -> ()
+  | d :: _ ->
+      let cfg' =
+        {
+          cfg with
+          Proto.designated = d;
+          backups =
+            List.filteri (fun i _ -> i < 2)
+              (List.filter
+                 (fun m ->
+                   (not (Sid.equal m d))
+                   && not (List.exists (Sid.equal m) exclude))
+                 cfg.members);
+        }
+      in
+      push_group t cfg'
+
+let handle_verdict t sw verdict =
+  let open Failover in
+  (match verdict with Healthy -> () | v -> t.failover_hook sw v);
+  match verdict with
+  | Healthy | Ambiguous -> ()
+  | Control_link_failure -> (
+      t.s_failovers <- t.s_failovers + 1;
+      match ring_neighbors_of t sw with
+      | Some (up, _) -> t.env.request_relay sw ~via:(Some up)
+      | None -> ())
+  | Peer_link_up_failure | Peer_link_down_failure -> (
+      t.s_failovers <- t.s_failovers + 1;
+      (* Only matters when an end of the broken peer link is the
+         designated switch (§III-E2). *)
+      match t.configs.(Sid.to_int sw) with
+      | None -> ()
+      | Some cfg ->
+          let other =
+            match (ring_neighbors_of t sw, verdict) with
+            | Some (up, _), Peer_link_down_failure -> Some up
+            | Some (_, down), Peer_link_up_failure -> Some down
+            | _ -> None
+          in
+          let ends = sw :: Option.to_list other in
+          if List.exists (Sid.equal cfg.designated) ends then
+            reselect_designated t cfg ~exclude:ends;
+          Failover.Monitor.ring_recovered t.monitor sw)
+  | Switch_failure ->
+      t.s_failovers <- t.s_failovers + 1;
+      t.awaiting_recovery <- Sid.Set.add sw t.awaiting_recovery;
+      (match t.configs.(Sid.to_int sw) with
+      | Some cfg when Sid.equal cfg.designated sw ->
+          reselect_designated t cfg ~exclude:[ sw ]
+      | _ -> ());
+      t.env.reboot_switch sw;
+      Failover.Monitor.ring_recovered t.monitor sw
+
+let evaluate_failures t =
+  List.iter
+    (fun (sw, v) ->
+      let prev =
+        Option.value (Sid.Map.find_opt sw t.last_verdicts) ~default:Failover.Healthy
+      in
+      if v <> prev then begin
+        t.last_verdicts <- Sid.Map.add sw v t.last_verdicts;
+        handle_verdict t sw v
+      end)
+    (Failover.Monitor.sweep t.monitor);
+  (* Clear verdict memory for switches that recovered. *)
+  t.last_verdicts <-
+    Sid.Map.filter
+      (fun sw _ -> Failover.Monitor.verdict t.monitor sw <> Failover.Healthy)
+      t.last_verdicts
+
+let switch_recovered t sw =
+  t.awaiting_recovery <- Sid.Set.remove sw t.awaiting_recovery;
+  Failover.Monitor.ring_recovered t.monitor sw;
+  match t.configs.(Sid.to_int sw) with
+  | None -> ()
+  | Some cfg ->
+      (* §III-E3 (iii): re-deliver the configuration and trigger a state
+         synchronization in the group. *)
+      send t sw (Message.Extension (Proto.Group_config cfg));
+      let lfibs =
+        List.filter_map
+          (fun m ->
+            match Clib.row t.clib m with [] -> None | row -> Some (m, row))
+          cfg.members
+      in
+      if lfibs <> [] then
+        send t cfg.designated (Message.Extension (Proto.Group_sync { lfibs }))
+
+(* --- ARP relay and packet handling ------------------------------------------ *)
+
+let target_ip_of_arp (eth : Packet.eth) =
+  match eth.payload with
+  | Packet.Arp { op = Packet.Request; target_ip; _ } -> Some target_ip
+  | _ -> None
+
+let group_of_switch t sw =
+  Option.map (fun (c : Proto.group_config) -> c.group) (t.configs.(Sid.to_int sw))
+
+let designated_of_group t gid =
+  let found = ref None in
+  Array.iter
+    (fun cfg ->
+      match cfg with
+      | Some (c : Proto.group_config)
+        when Ids.Group_id.equal c.group gid && !found = None ->
+          found := Some c.designated
+      | _ -> ())
+    t.configs;
+  !found
+
+let relay_arp t ~origin packet =
+  let eth = Packet.eth_of packet in
+  match target_ip_of_arp eth with
+  | None -> ()
+  | Some target_ip -> (
+      let origin_group = group_of_switch t origin in
+      let relay_to_group gid =
+        if Some gid <> origin_group then
+          match designated_of_group t gid with
+          | Some d ->
+              t.s_arp_relays <- t.s_arp_relays + 1;
+              send t d (Message.Extension (Proto.Arp_broadcast { packet }))
+          | None -> ()
+      in
+      match Clib.locate_ip t.clib target_ip with
+      | Some (sw, _) ->
+          (* The C-LIB pinpoints the owner: hand the request straight to
+             its switch (a strict refinement of the paper's
+             all-tenant-groups relay, enabled by complete visibility).
+             Note the escalation may come from the owner's *own* group —
+             e.g. a member whose G-FIB state is still settling after a
+             regroup — so this must work regardless of group equality. *)
+          t.s_arp_relays <- t.s_arp_relays + 1;
+          packet_out t sw packet [ Action.Flood_local ]
+      | None -> (
+          (* Unknown target: relay to every group hosting the tenant. *)
+          match Clib.tenant_of_mac t.clib eth.src with
+          | None -> ()
+          | Some tenant ->
+              let groups =
+                Clib.switches_of_tenant t.clib tenant
+                |> List.filter_map (group_of_switch t)
+                |> List.sort_uniq Ids.Group_id.compare
+              in
+              List.iter relay_to_group groups))
+
+let install_forwarding t ~from ~target packet =
+  let eth = Packet.eth_of packet in
+  let entry =
+    {
+      Flow_table.priority = 10;
+      ofmatch = Ofmatch.exact_pair ~src:eth.Packet.src ~dst:eth.Packet.dst;
+      actions = [ Action.Encap (underlay_ip_of target) ];
+      idle_timeout = Some t.config.flow_idle_timeout;
+      hard_timeout = None;
+      cookie = 1;
+    }
+  in
+  flow_mod t from entry;
+  packet_out t from packet [ Action.Encap (underlay_ip_of target) ];
+  note_intensity t from target 1.0
+
+let flood_tenant t ~from packet =
+  let eth = Packet.eth_of packet in
+  t.s_floods <- t.s_floods + 1;
+  let targets =
+    match Clib.tenant_of_mac t.clib eth.Packet.src with
+    | Some tenant -> Clib.switches_of_tenant t.clib tenant
+    | None -> []
+  in
+  List.iter
+    (fun sw ->
+      if not (Sid.equal sw from) then
+        packet_out t sw packet [ Action.Flood_local ])
+    targets
+
+let handle_packet_in t ~from packet =
+  t.s_packet_ins <- t.s_packet_ins + 1;
+  let eth = Packet.eth_of packet in
+  match eth.Packet.payload with
+  | Packet.Arp { op = Packet.Request; _ } -> relay_arp t ~origin:from packet
+  | Packet.Arp { op = Packet.Reply; _ } | Packet.Ipv4 _ -> (
+      match Clib.locate_mac t.clib eth.Packet.dst with
+      | Some target when not (Sid.equal target from) ->
+          install_forwarding t ~from ~target packet
+      | Some _ ->
+          (* The owner is local to the punting switch but its L-FIB missed
+             it (e.g. just after recovery): hand the frame back. *)
+          packet_out t from packet [ Action.Flood_local ]
+      | None -> flood_tenant t ~from packet)
+
+(* --- message entry point ------------------------------------------------------ *)
+
+let rec handle_message t ~from msg =
+  match msg with
+  | Message.Packet_in { packet; _ } ->
+      request t;
+      handle_packet_in t ~from packet
+  | Message.Echo_reply _ ->
+      Failover.Monitor.echo_received t.monitor from;
+      if Sid.Set.mem from t.awaiting_recovery then switch_recovered t from
+  | Message.Hello | Message.Echo_request _ | Message.Packet_out _
+  | Message.Flow_mod _ ->
+      ()
+  | Message.Extension ext -> (
+      match ext with
+      | Proto.State_report { deltas; intensity; _ } ->
+          request t;
+          t.s_state_reports <- t.s_state_reports + 1;
+          List.iter (Clib.apply_delta t.clib) deltas;
+          List.iter
+            (fun (a, b, count) -> note_intensity t a b (Float.of_int count))
+            intensity
+      | Proto.Arp_escalate { origin; packet } ->
+          request t;
+          t.s_arp_escalations <- t.s_arp_escalations + 1;
+          relay_arp t ~origin packet
+      | Proto.Ring_alarm { missing; direction; _ } ->
+          request t;
+          t.s_ring_alarms <- t.s_ring_alarms + 1;
+          (* Evidence only; correlated losses are judged at the next daemon
+             tick so a failing switch's two ring alarms are not each
+             misread as independent peer-link failures. *)
+          Failover.Monitor.ring_alarm t.monitor ~missing ~direction
+      | Proto.False_positive { at; dst } -> (
+          request t;
+          (* §III-D4: pin the true location so the same destination stops
+             being misdelivered. *)
+          match Clib.locate_mac t.clib dst with
+          | Some target when not (Sid.equal target at) ->
+              flow_mod t at
+                {
+                  Flow_table.priority = 20;
+                  ofmatch = { Ofmatch.any with dst_mac = Some dst };
+                  actions = [ Action.Encap (underlay_ip_of target) ];
+                  idle_timeout = Some t.config.flow_idle_timeout;
+                  hard_timeout = None;
+                  cookie = 2;
+                }
+          | _ -> ())
+      | Proto.Relay { origin; boxed } -> handle_message t ~from:origin boxed
+      | Proto.Lfib_advert d ->
+          request t;
+          Clib.apply_delta t.clib d
+      | Proto.Group_config _ | Proto.Group_sync _ | Proto.Member_report _
+      | Proto.Group_arp _ | Proto.Arp_broadcast _ | Proto.Keepalive _ ->
+          ())
+
+(* --- detour routing (§III-E2) ------------------------------------------------- *)
+
+let notify_path_failure t ~src ~dst =
+  match t.grouping with
+  | None -> ()
+  | Some g ->
+      let via =
+        Grouping.members g (Grouping.group_of g dst)
+        |> List.find_opt (fun m -> (not (Sid.equal m dst)) && not (Sid.equal m src))
+      in
+      (match via with
+      | None -> ()
+      | Some via ->
+          t.s_failovers <- t.s_failovers + 1;
+          (* Two-segment detour: src tunnels to the healthy [via] member,
+             whose own rule completes the last hop to [dst]. *)
+          List.iter
+            (fun (key : Proto.host_key) ->
+              let rule at target =
+                flow_mod t at
+                  {
+                    Flow_table.priority = 30;
+                    ofmatch = { Ofmatch.any with dst_mac = Some key.mac };
+                    actions = [ Action.Encap (underlay_ip_of target) ];
+                    idle_timeout = Some t.config.flow_idle_timeout;
+                    hard_timeout = None;
+                    cookie = 3;
+                  }
+              in
+              rule src via;
+              rule via dst)
+            (Clib.row t.clib dst))
+
+(* --- timers and bootstrap ------------------------------------------------------ *)
+
+let echo_tick t =
+  t.echo_seq <- t.echo_seq + 1;
+  for i = 0 to t.n_switches - 1 do
+    let sw = Sid.of_int i in
+    Failover.Monitor.echo_sent t.monitor sw;
+    send t sw (Message.Echo_request t.echo_seq)
+  done
+
+let daemon_tick t =
+  let period_s = Time.to_float_sec t.config.daemon_period in
+  let fresh = Float.of_int (t.requests_total - t.requests_at_tick) /. period_s in
+  t.requests_at_tick <- t.requests_total;
+  (* Light smoothing only: the paper's trigger reacts to the measured
+     workload, noise included — that noise (plus the 2-minute floor) is
+     what sets the Fig. 8 update cadence. *)
+  t.ewma_rate <- (0.3 *. t.ewma_rate) +. (0.7 *. fresh);
+  decay_matrix t;
+  evaluate_failures t;
+  if t.config.incremental_updates && t.grouping <> None then begin
+    let base = Float.max t.rate_at_last_update 0.001 in
+    let growth = (t.ewma_rate -. base) /. base in
+    let interval_ok =
+      Time.(Time.diff (now t) t.last_update_time >= t.config.min_update_interval)
+    in
+    (* Fig. 3 / §IV-B triggers: (i) >=30% workload growth since the last
+       update, or (ii) two minutes since the last update — both floored at
+       the 2-minute minimum interval. The applied-update rate then
+       self-regulates: an attempt that finds no cut improvement changes
+       nothing and is not counted. *)
+    if interval_ok then begin
+      if growth >= t.config.full_regroup_growth then run_full_regroup t
+      else run_inc_updates t;
+      (* Rate-limit attempts even when nothing improved. *)
+      if Time.(Time.diff (now t) t.last_update_time >= t.config.min_update_interval)
+      then begin
+        t.last_update_time <- now t;
+        t.rate_at_last_update <- t.ewma_rate
+      end
+    end
+  end
+
+let force_regroup t = run_full_regroup t
+
+let bootstrap t ~intensity =
+  (* Seed the matrix with the history statistics. *)
+  Wgraph.iter_edges intensity (fun a b w ->
+      note_intensity t (Sid.of_int a) (Sid.of_int b) w);
+  let g = Sgi.ini_group ~rng:t.env.rng ~limit:t.config.group_size_limit intensity in
+  apply_grouping t g;
+  for i = 0 to t.n_switches - 1 do
+    Failover.Monitor.register t.monitor (Sid.of_int i)
+  done;
+  t.last_update_time <- now t;
+  ignore (Engine.every t.env.engine ~period:t.config.echo_period (fun () -> echo_tick t));
+  ignore
+    (Engine.every t.env.engine ~period:t.config.daemon_period (fun () -> daemon_tick t))
+
+let stats t =
+  {
+    requests = t.requests_total;
+    packet_ins = t.s_packet_ins;
+    arp_escalations = t.s_arp_escalations;
+    state_reports = t.s_state_reports;
+    ring_alarms = t.s_ring_alarms;
+    flow_mods_sent = t.s_flow_mods;
+    packet_outs_sent = t.s_packet_outs;
+    arp_relays = t.s_arp_relays;
+    floods = t.s_floods;
+    grouping_updates = t.s_updates;
+    full_regroups = t.s_full_regroups;
+    failovers_handled = t.s_failovers;
+    preloaded_rules = t.s_preloads;
+  }

@@ -1,0 +1,111 @@
+(** The LazyCtrl central controller (§III-B2, §IV-B).
+
+    Responsibilities, exactly the paper's list: maintain the C-LIB from
+    designated switches' state reports; manage the grouping of edge
+    switches with SGI (initial grouping plus the background incremental
+    daemon, triggered by ≥30% workload growth and rate-limited to one
+    update per two minutes); set up flow rules for inter-group traffic and
+    relay cross-group ARP within the tenant's scope; and run failure
+    detection/failover over the wheel. *)
+
+open Lazyctrl_net
+open Lazyctrl_sim
+open Lazyctrl_graph
+open Lazyctrl_openflow
+open Lazyctrl_switch
+module Prng = Lazyctrl_util.Prng
+
+type msg = Proto.t Message.t
+
+type env = {
+  engine : Engine.t;
+  send_switch : Ids.Switch_id.t -> msg -> unit;  (** control links, downstream *)
+  reboot_switch : Ids.Switch_id.t -> unit;
+      (** remote management action for §III-E3 switch failover *)
+  request_relay : Ids.Switch_id.t -> via:Ids.Switch_id.t option -> unit;
+      (** control-link failover: tell a switch to route its control
+          traffic through a ring neighbour (§III-E2) *)
+  rng : Prng.t;
+}
+
+type config = {
+  group_size_limit : int;
+  sync_period : Time.t;        (** handed to switches in [Group_config] *)
+  keepalive_period : Time.t;
+  echo_period : Time.t;        (** controller → switch liveness probes *)
+  echo_timeout : Time.t;
+  daemon_period : Time.t;      (** grouping-daemon evaluation cadence *)
+  min_update_interval : Time.t;     (** the paper's 2 minutes *)
+  workload_growth_trigger : float;  (** the paper's 0.30 *)
+  full_regroup_growth : float;
+      (** growth beyond which IniGroup is re-run instead of IncUpdate *)
+  max_inc_iterations : int;
+  incremental_updates : bool;  (** false = the paper's "static" runs *)
+  flow_idle_timeout : Time.t;  (** for installed inter-group rules *)
+  intensity_decay : float;     (** per-daemon-tick decay of the matrix *)
+  preload_on_regroup : bool;
+      (** Appendix B: bridge regrouping windows with temporary rules so
+          traffic to departing peers does not punt while state settles *)
+}
+
+val default_config : config
+
+type stats = {
+  requests : int;        (** workload-relevant messages processed *)
+  packet_ins : int;
+  arp_escalations : int;
+  state_reports : int;
+  ring_alarms : int;
+  flow_mods_sent : int;
+  packet_outs_sent : int;
+  arp_relays : int;      (** cross-group ARP broadcasts relayed *)
+  floods : int;          (** unknown-destination tenant-scoped floods *)
+  grouping_updates : int;     (** IncUpdate rounds applied (Fig. 8) *)
+  full_regroups : int;
+  failovers_handled : int;
+  preloaded_rules : int;      (** Appendix B seamless-update preloads *)
+}
+
+type t
+
+val create : env -> config -> n_switches:int -> t
+
+val bootstrap : t -> intensity:Wgraph.t -> unit
+(** Initial grouping from history statistics (the paper seeds SGI with the
+    first hour of traffic): runs IniGroup, selects designated switches and
+    backups, pushes [Group_config] to every switch, starts the echo and
+    daemon timers. *)
+
+val handle_message : t -> from:Ids.Switch_id.t -> msg -> unit
+(** Entry point for everything arriving on control and state links. *)
+
+val force_regroup : t -> unit
+(** Operator action: run IniGroup on the current intensity matrix now and
+    push the resulting configuration (counts as a full regroup). *)
+
+val notify_path_failure :
+  t -> src:Ids.Switch_id.t -> dst:Ids.Switch_id.t -> unit
+(** Data-path failure (§III-E2): install detour rules on [src] sending
+    traffic for [dst]'s hosts through a healthy member of [dst]'s group,
+    whose G-FIB completes delivery. *)
+
+val grouping : t -> Lazyctrl_grouping.Grouping.t option
+val group_config_of : t -> Ids.Switch_id.t -> Proto.group_config option
+val clib : t -> Clib.t
+val monitor : t -> Failover.Monitor.t
+val stats : t -> stats
+
+val set_request_hook : t -> (unit -> unit) -> unit
+(** Called once per workload-relevant request — the measurement tap for
+    the Fig. 7 controller-workload series. *)
+
+val set_update_hook : t -> (unit -> unit) -> unit
+(** Called once per applied grouping update (Fig. 8). *)
+
+val set_failover_hook :
+  t -> (Ids.Switch_id.t -> Failover.verdict -> unit) -> unit
+(** Called when the controller acts on a non-healthy verdict — the
+    observable record of Table I end-to-end inference. *)
+
+val current_intensity : t -> Wgraph.t
+(** The decayed intensity matrix the daemon currently believes. *)

@@ -1,0 +1,112 @@
+open Lazyctrl_net
+open Lazyctrl_sim
+
+type observation = { up_lost : bool; down_lost : bool; ctrl_lost : bool }
+
+type verdict =
+  | Healthy
+  | Control_link_failure
+  | Peer_link_up_failure
+  | Peer_link_down_failure
+  | Switch_failure
+  | Ambiguous
+
+let infer = function
+  | { up_lost = false; down_lost = false; ctrl_lost = false } -> Healthy
+  | { up_lost = false; down_lost = false; ctrl_lost = true } -> Control_link_failure
+  | { up_lost = true; down_lost = false; ctrl_lost = false } -> Peer_link_up_failure
+  | { up_lost = false; down_lost = true; ctrl_lost = false } -> Peer_link_down_failure
+  | { up_lost = true; down_lost = true; ctrl_lost = true } -> Switch_failure
+  | _ -> Ambiguous
+
+let pp_verdict fmt v =
+  Format.pp_print_string fmt
+    (match v with
+    | Healthy -> "healthy"
+    | Control_link_failure -> "control-link failure"
+    | Peer_link_up_failure -> "peer-link (up) failure"
+    | Peer_link_down_failure -> "peer-link (down) failure"
+    | Switch_failure -> "switch failure"
+    | Ambiguous -> "ambiguous")
+
+module Monitor = struct
+  type entry = {
+    mutable last_echo_reply : Time.t;
+    mutable echo_pending_since : Time.t option;
+    mutable up_lost : bool;
+    mutable down_lost : bool;
+  }
+
+  type t = {
+    engine : Engine.t;
+    echo_timeout : Time.t;
+    entries : entry Ids.Switch_id.Tbl.t;
+  }
+
+  let create engine ~echo_timeout =
+    { engine; echo_timeout; entries = Ids.Switch_id.Tbl.create 64 }
+
+  let register t sw =
+    if not (Ids.Switch_id.Tbl.mem t.entries sw) then
+      Ids.Switch_id.Tbl.replace t.entries sw
+        {
+          last_echo_reply = Engine.now t.engine;
+          echo_pending_since = None;
+          up_lost = false;
+          down_lost = false;
+        }
+
+  let unregister t sw = Ids.Switch_id.Tbl.remove t.entries sw
+
+  let find t sw = Ids.Switch_id.Tbl.find_opt t.entries sw
+
+  let echo_sent t sw =
+    match find t sw with
+    | None -> ()
+    | Some e ->
+        if e.echo_pending_since = None then
+          e.echo_pending_since <- Some (Engine.now t.engine)
+
+  let echo_received t sw =
+    match find t sw with
+    | None -> ()
+    | Some e ->
+        e.last_echo_reply <- Engine.now t.engine;
+        e.echo_pending_since <- None
+
+  let ring_alarm t ~missing ~direction =
+    match find t missing with
+    | None -> ()
+    | Some e -> (
+        match direction with
+        | `Up -> e.up_lost <- true
+        | `Down -> e.down_lost <- true)
+
+  let ring_recovered t sw =
+    match find t sw with
+    | None -> ()
+    | Some e ->
+        e.up_lost <- false;
+        e.down_lost <- false
+
+  let observation t sw =
+    match find t sw with
+    | None -> { up_lost = false; down_lost = false; ctrl_lost = false }
+    | Some e ->
+        let ctrl_lost =
+          match e.echo_pending_since with
+          | None -> false
+          | Some since ->
+              Time.(Time.diff (Engine.now t.engine) since > t.echo_timeout)
+        in
+        { up_lost = e.up_lost; down_lost = e.down_lost; ctrl_lost }
+
+  let verdict t sw = infer (observation t sw)
+
+  let sweep t =
+    Ids.Switch_id.Tbl.fold
+      (fun sw _ acc ->
+        match verdict t sw with Healthy -> acc | v -> (sw, v) :: acc)
+      t.entries []
+    |> List.sort (fun (a, _) (b, _) -> Ids.Switch_id.compare a b)
+end

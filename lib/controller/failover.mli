@@ -1,0 +1,60 @@
+(** Control-plane failure detection and inference (§III-E, Table I).
+
+    Three keep-alive streams exist per switch [Sn] on the wheel: to its
+    ring predecessor ([Sn → Sn−1], the "up" peer direction), to its ring
+    successor ([Sn → Sn+1], "down"), and the controller's echo over the
+    control link ([Controller → Sn], answered by an echo reply). The
+    inference of Table I maps the observed loss pattern to the failed
+    component. The {!Monitor} collects the controller-side evidence:
+    ring alarms reported by neighbours and overdue echo replies. *)
+
+open Lazyctrl_net
+open Lazyctrl_sim
+
+type observation = {
+  up_lost : bool;   (** [Sn → Sn−1] keep-alives missing *)
+  down_lost : bool; (** [Sn → Sn+1] keep-alives missing *)
+  ctrl_lost : bool; (** [Controller → Sn] echo unanswered *)
+}
+
+type verdict =
+  | Healthy
+  | Control_link_failure
+  | Peer_link_up_failure
+  | Peer_link_down_failure
+  | Switch_failure
+  | Ambiguous
+      (** a pattern outside Table I (e.g. two simultaneous independent
+          losses); the paper leaves these to operator escalation *)
+
+val infer : observation -> verdict
+(** Pure Table I lookup. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+module Monitor : sig
+  type t
+
+  val create : Engine.t -> echo_timeout:Time.t -> t
+
+  val register : t -> Ids.Switch_id.t -> unit
+  (** Start tracking a switch; it begins Healthy with a fresh echo. *)
+
+  val unregister : t -> Ids.Switch_id.t -> unit
+
+  val echo_sent : t -> Ids.Switch_id.t -> unit
+  val echo_received : t -> Ids.Switch_id.t -> unit
+
+  val ring_alarm :
+    t -> missing:Ids.Switch_id.t -> direction:[ `Up | `Down ] -> unit
+  (** A neighbour reported a missing keep-alive from [missing]. *)
+
+  val ring_recovered : t -> Ids.Switch_id.t -> unit
+  (** Clear ring-loss evidence (e.g. after repair). *)
+
+  val observation : t -> Ids.Switch_id.t -> observation
+  val verdict : t -> Ids.Switch_id.t -> verdict
+
+  val sweep : t -> (Ids.Switch_id.t * verdict) list
+  (** All tracked switches whose current verdict is not [Healthy]. *)
+end

@@ -1,0 +1,101 @@
+(** Whole-network simulation wiring.
+
+    Builds the complete system of §IV for a given topology and mode —
+    either the LazyCtrl hybrid plane (edge switches with L-FIB/G-FIB,
+    designated switches, central controller) or the standard-OpenFlow
+    comparison plane (dumb switches, reactive learning controller) — over
+    one shared discrete-event engine, underlay, host model, and metrics
+    recorder. This is the entry point examples, experiments, and the CLI
+    drive. *)
+
+open Lazyctrl_net
+open Lazyctrl_sim
+open Lazyctrl_graph
+open Lazyctrl_topo
+open Lazyctrl_traffic
+open Lazyctrl_switch
+open Lazyctrl_controller
+open Lazyctrl_baseline
+open Lazyctrl_metrics
+
+type mode = Lazy | Openflow
+
+type t
+
+val create :
+  ?params:Params.t ->
+  ?controller_config:Controller.config ->
+  ?of_config:Of_controller.config ->
+  mode:mode ->
+  topo:Topology.t ->
+  horizon:Time.t ->
+  unit ->
+  t
+(** Builds switches, channels, controller and host model; attaches every
+    host in the topology to its edge switch. *)
+
+val engine : t -> Engine.t
+val recorder : t -> Recorder.t
+val topology : t -> Topology.t
+val mode : t -> mode
+val host_model : t -> Host_model.t
+val underlay : t -> Underlay.t
+
+val default_intensity : Topology.t -> Wgraph.t
+(** A placement-derived prior (tenant co-location weights) for
+    bootstrapping before any traffic statistics exist. *)
+
+val bootstrap : t -> ?intensity:Wgraph.t -> unit -> unit
+(** Lazy mode: run the controller's initial grouping (IniGroup) from the
+    given history statistics (default {!default_intensity}) and push the
+    group configurations. No-op in OpenFlow mode. *)
+
+val start_flow :
+  t -> src:Ids.Host_id.t -> dst:Ids.Host_id.t -> bytes:int -> packets:int -> unit
+(** Application-level flow initiation at the source host. *)
+
+val replay : t -> Trace.t -> unit
+(** Schedule a whole trace of flow arrivals. *)
+
+val run : t -> until:Time.t -> unit
+val run_all : t -> unit
+
+val lazy_controller : t -> Controller.t option
+val of_controller : t -> Of_controller.t option
+val edge_switch : t -> Ids.Switch_id.t -> Edge_switch.t option
+val of_switch : t -> Ids.Switch_id.t -> Of_switch.t option
+
+val switch_stats_sum : t -> Edge_switch.stats
+(** Aggregate over all edge switches (zeros in OpenFlow mode). *)
+
+val deploy_host : t -> Host.t -> at:Ids.Switch_id.t -> unit
+(** Bring a brand-new VM online: add it to the topology and attach it at
+    its edge switch (which learns and advertises it). *)
+
+val migrate_host : t -> Ids.Host_id.t -> to_:Ids.Switch_id.t -> unit
+(** VM migration: detach at the old switch, move in the topology, attach
+    at the new one (driving the live state-dissemination path). *)
+
+(** {1 Failure injection} (lazy mode) *)
+
+val fail_switch : t -> Ids.Switch_id.t -> unit
+(** Power the switch off. The controller's wheel detects it, reselects a
+    designated switch if needed, and issues a reboot; the switch comes
+    back after [params.reboot_delay] and is re-synced. *)
+
+val fail_control_link : t -> Ids.Switch_id.t -> unit
+val repair_control_link : t -> Ids.Switch_id.t -> unit
+val fail_peer_link : t -> Ids.Switch_id.t -> Ids.Switch_id.t -> unit
+val repair_peer_link : t -> Ids.Switch_id.t -> Ids.Switch_id.t -> unit
+
+val fail_peer_link_directed :
+  t -> src:Ids.Switch_id.t -> dst:Ids.Switch_id.t -> unit
+(** Break one direction only — the Table I "peer link (up)" vs "(down)"
+    distinction. *)
+
+val fail_data_path :
+  t -> src:Ids.Switch_id.t -> dst:Ids.Switch_id.t -> notify:bool -> unit
+(** Break the one-way underlay path; with [notify], the controller is told
+    and installs detour rules (§III-E2). *)
+
+val repair_data_path : t -> src:Ids.Switch_id.t -> dst:Ids.Switch_id.t -> unit

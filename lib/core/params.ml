@@ -1,0 +1,34 @@
+open Lazyctrl_sim
+
+type t = {
+  seed : int;
+  host_port_latency : Time.t;
+  host_stack_delay : Time.t;
+  underlay_latency : Time.t;
+  control_link_latency : Time.t;
+  peer_link_latency : Time.t;
+  controller_service : Time.t;
+  of_controller_service : Time.t;
+  arp_cache_ttl : Time.t;
+  reboot_delay : Time.t;
+  flow_table_capacity : int;
+  switch_config : Lazyctrl_switch.Edge_switch.config;
+}
+
+let default =
+  {
+    seed = 42;
+    host_port_latency = Time.of_us 20;
+    host_stack_delay = Time.of_us 30;
+    underlay_latency = Time.of_us 250;
+    control_link_latency = Time.of_ms 1;
+    peer_link_latency = Time.of_us 150;
+    controller_service = Time.of_us 100;
+    of_controller_service = Time.of_us 1500;
+    arp_cache_ttl = Time.of_min 10;
+    reboot_delay = Time.of_sec 10;
+    flow_table_capacity = 4096;
+    switch_config = Lazyctrl_switch.Edge_switch.default_config;
+  }
+
+let with_seed seed t = { t with seed }

@@ -1,0 +1,34 @@
+(** Calibrated simulation parameters.
+
+    The latency constants are calibrated so that the paper's §V-E
+    end-to-end numbers fall out of the mechanism rather than being wired
+    in: LazyCtrl intra-group cold-cache ≈ 0.8 ms (one ARP exchange + one
+    data hop, all in the data plane), inter-group ≈ 5 ms (one controller
+    round-trip in each of the three exchange legs), standard OpenFlow ≈
+    15 ms (every leg pays control-link + Floodlight service time, plus
+    queueing under load). See EXPERIMENTS.md for the calibration table. *)
+
+open Lazyctrl_sim
+
+type t = {
+  seed : int;
+  host_port_latency : Time.t;  (** host NIC ↔ edge switch, one way *)
+  host_stack_delay : Time.t;   (** host processing before an ARP reply *)
+  underlay_latency : Time.t;   (** edge ↔ edge through the core, one way *)
+  control_link_latency : Time.t; (** switch ↔ controller, one way *)
+  peer_link_latency : Time.t;    (** switch ↔ switch control channel *)
+  controller_service : Time.t;
+      (** LazyCtrl controller per-request processing time *)
+  of_controller_service : Time.t;
+      (** Floodlight-style baseline per-request processing time (Java
+          reactive pipeline; order-of-magnitude slower than the lazy
+          controller's rare-path handling) *)
+  arp_cache_ttl : Time.t;
+  reboot_delay : Time.t;       (** switch power-cycle time (§III-E3) *)
+  flow_table_capacity : int;
+  switch_config : Lazyctrl_switch.Edge_switch.config;
+}
+
+val default : t
+
+val with_seed : int -> t -> t

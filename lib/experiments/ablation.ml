@@ -1,0 +1,272 @@
+open Lazyctrl_sim
+open Lazyctrl_traffic
+open Lazyctrl_switch
+open Lazyctrl_core
+open Lazyctrl_controller
+open Lazyctrl_grouping
+open Lazyctrl_metrics
+module Table = Lazyctrl_util.Table
+
+let short_horizon = Time.of_hour 6
+
+let short_run ~seed ~n_flows ~controller_config ~switch_config =
+  let topo = Workloads.sim_topo ~seed in
+  let trace = Workloads.sim_trace ~seed ~n_flows in
+  let trace = Trace.sub_between trace ~from:Time.zero ~until:short_horizon in
+  let params =
+    let p = Params.with_seed seed Params.default in
+    { p with Params.switch_config }
+  in
+  let net =
+    Network.create ~params ~controller_config ~mode:Network.Lazy ~topo
+      ~horizon:short_horizon ()
+  in
+  let first_hour = Analysis.switch_intensity ~until:(Time.of_hour 1) ~topo trace in
+  Network.bootstrap net ~intensity:first_hour ();
+  Network.replay net trace;
+  Network.run net ~until:short_horizon;
+  net
+
+let base_config =
+  {
+    Controller.default_config with
+    Controller.sync_period = Time.of_min 2;
+    keepalive_period = Time.of_sec 30;
+    echo_period = Time.of_min 1;
+    echo_timeout = Time.of_min 3;
+  }
+
+let group_size_table ?(seed = 42) ?(n_flows = 40_000)
+    ?(limits = [ 4; 8; 16; 24; 34; 68 ]) () =
+  let tbl =
+    Table.create
+      [
+        "Size limit";
+        "# groups";
+        "Controller requests";
+        "Intra-group handled";
+        "Max G-FIB bytes/switch";
+      ]
+  in
+  List.iter
+    (fun limit ->
+      let net =
+        short_run ~seed ~n_flows
+          ~controller_config:{ base_config with Controller.group_size_limit = limit }
+          ~switch_config:Edge_switch.default_config
+      in
+      let controller = Option.get (Network.lazy_controller net) in
+      let grouping = Option.get (Controller.grouping controller) in
+      let stats = Network.switch_stats_sum net in
+      let max_gfib = ref 0 in
+      List.iter
+        (fun sw ->
+          match Network.edge_switch net sw with
+          | Some s -> max_gfib := max !max_gfib (Gfib.storage_bytes (Edge_switch.gfib s))
+          | None -> ())
+        (Lazyctrl_topo.Topology.switches (Network.topology net));
+      Table.add_row tbl
+        [
+          Table.cell_int limit;
+          Table.cell_int (Grouping.n_groups grouping);
+          Table.cell_int (Recorder.total_requests (Network.recorder net));
+          Table.cell_int stats.Edge_switch.gfib_handled;
+          Table.cell_int !max_gfib;
+        ])
+    limits;
+  tbl
+
+let negotiation_table () =
+  let tbl =
+    Table.create
+      [
+        "Controller ideal (δ)";
+        "Switches ideal (δ)";
+        "Closed-form limit";
+        "Simulated limit";
+        "Rounds";
+      ]
+  in
+  List.iter
+    (fun ((ci, cd), (si, sd)) ->
+      let controller = { Negotiation.ideal = ci; discount = cd } in
+      let switches = { Negotiation.ideal = si; discount = sd } in
+      let closed = Negotiation.equilibrium_limit ~controller ~switches in
+      let sim = Negotiation.simulate ~controller ~switches () in
+      Table.add_row tbl
+        [
+          Printf.sprintf "%d (%.2f)" ci cd;
+          Printf.sprintf "%d (%.2f)" si sd;
+          Table.cell_int closed;
+          Table.cell_int sim.Negotiation.limit;
+          Table.cell_int sim.Negotiation.rounds;
+        ])
+    [
+      ((96, 0.9), (16, 0.9));
+      ((96, 0.95), (16, 0.8));
+      ((96, 0.8), (16, 0.95));
+      ((48, 0.9), (24, 0.9));
+    ];
+  tbl
+
+let preload_table ?(seed = 42) ?(n_flows = 40_000) () =
+  let tbl =
+    Table.create
+      [
+        "Preload";
+        "Preloaded rules";
+        "Controller packet-ins";
+        "Grouping updates";
+        "Flows delivered";
+      ]
+  in
+  List.iter
+    (fun preload ->
+      let net =
+        short_run ~seed ~n_flows
+          ~controller_config:
+            {
+              base_config with
+              Controller.group_size_limit = 14;
+              incremental_updates = true;
+              preload_on_regroup = preload;
+            }
+          ~switch_config:Edge_switch.default_config
+      in
+      let c = Option.get (Network.lazy_controller net) in
+      let s = Controller.stats c in
+      Table.add_row tbl
+        [
+          (if preload then "on" else "off");
+          Table.cell_int s.Controller.preloaded_rules;
+          Table.cell_int s.Controller.packet_ins;
+          Table.cell_int s.Controller.grouping_updates;
+          Table.cell_int (Host_model.flows_delivered (Network.host_model net));
+        ])
+    [ true; false ];
+  tbl
+
+let exclusion_table ?(seed = 42) ?(n_flows = 150_000)
+    ?(fractions = [ 0.0; 0.01; 0.02; 0.05 ]) () =
+  let topo = Workloads.paper_topo ~seed in
+  let trace = Workloads.real_trace ~seed ~n_flows in
+  let tbl =
+    Table.create
+      [ "Excluded hosts (top fanout)"; "# excluded"; "W_inter (%)" ]
+  in
+  List.iter
+    (fun fraction ->
+      let exclude_hosts =
+        if fraction = 0.0 then None
+        else Some (Analysis.high_fanout_hosts trace ~fraction)
+      in
+      let g = Analysis.switch_intensity ?exclude_hosts ~topo trace in
+      let grouping =
+        Lazyctrl_grouping.Sgi.ini_group
+          ~rng:(Lazyctrl_util.Prng.create seed)
+          ~limit:48 g
+      in
+      Table.add_row tbl
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. fraction);
+          Table.cell_int
+            (match exclude_hosts with
+            | None -> 0
+            | Some s -> Lazyctrl_net.Ids.Host_id.Set.cardinal s);
+          Table.cell_float
+            (100.0 *. Lazyctrl_grouping.Grouping.normalized_inter g grouping);
+        ])
+    fractions;
+  tbl
+
+let batch_table ?(seed = 42) ?(n_flows = 200_000) () =
+  let topo = Workloads.paper_topo ~seed in
+  let trace = Workloads.real_trace ~seed ~n_flows in
+  let g = Analysis.switch_intensity ~topo trace in
+  let rng () = Lazyctrl_util.Prng.create (seed + 3) in
+  (* A deliberately scrambled start: random round-robin assignment. *)
+  let n = Lazyctrl_graph.Wgraph.n_vertices g in
+  let scrambled =
+    Lazyctrl_grouping.Grouping.of_assignment (Array.init n (fun i -> i mod 6))
+  in
+  let winter grp = 100.0 *. Lazyctrl_grouping.Grouping.normalized_inter g grp in
+  let tbl =
+    Table.create [ "Strategy"; "Wall clock (s)"; "W_inter after (%)" ]
+  in
+  let timed label f =
+    let t0 = Sys.time () in
+    let result = f () in
+    Table.add_row tbl
+      [
+        label;
+        Table.cell_float ~decimals:4 (Sys.time () -. t0);
+        Table.cell_float (winter result);
+      ]
+  in
+  let sequential rounds grp =
+    let rec go grp i =
+      if i = 0 then grp
+      else
+        match
+          Lazyctrl_grouping.Sgi.inc_update ~rng:(rng ()) ~limit:48 ~intensity:g grp
+        with
+        | Some grp' -> go grp' (i - 1)
+        | None -> grp
+    in
+    go grp rounds
+  in
+  let batched ~domains rounds grp =
+    let rec go grp i =
+      if i = 0 then grp
+      else
+        match
+          Lazyctrl_grouping.Sgi.inc_update_batch ~rng:(rng ()) ~limit:48 ~domains
+            ~intensity:g grp
+        with
+        | Some grp' -> go grp' (i - 1)
+        | None -> grp
+    in
+    go grp rounds
+  in
+  timed "3 sequential IncUpdate rounds" (fun () -> sequential 3 scrambled);
+  timed "9 sequential IncUpdate rounds" (fun () -> sequential 9 scrambled);
+  timed "3 batched rounds (1 domain)" (fun () -> batched ~domains:1 3 scrambled);
+  timed "3 batched rounds (4 domains)" (fun () -> batched ~domains:4 3 scrambled);
+  tbl
+
+let bloom_table ?(seed = 42) ?(n_flows = 40_000) ?(bits = [ 2; 4; 8; 16; 32 ]) () =
+  let tbl =
+    Table.create
+      [
+        "Bits/entry";
+        "G-FIB duplicates";
+        "FP drops";
+        "Intra-group handled";
+        "Max G-FIB bytes/switch";
+      ]
+  in
+  List.iter
+    (fun bpe ->
+      let net =
+        short_run ~seed ~n_flows ~controller_config:base_config
+          ~switch_config:
+            { Edge_switch.default_config with Edge_switch.gfib_bits_per_entry = bpe }
+      in
+      let stats = Network.switch_stats_sum net in
+      let max_gfib = ref 0 in
+      List.iter
+        (fun sw ->
+          match Network.edge_switch net sw with
+          | Some s -> max_gfib := max !max_gfib (Gfib.storage_bytes (Edge_switch.gfib s))
+          | None -> ())
+        (Lazyctrl_topo.Topology.switches (Network.topology net));
+      Table.add_row tbl
+        [
+          Table.cell_int bpe;
+          Table.cell_int stats.Edge_switch.gfib_duplicates;
+          Table.cell_int stats.Edge_switch.fp_drops;
+          Table.cell_int stats.Edge_switch.gfib_handled;
+          Table.cell_int !max_gfib;
+        ])
+    bits;
+  tbl

@@ -1,0 +1,34 @@
+(** Ablation benches for the design choices DESIGN.md calls out.
+
+    A2 — group-size limit: controller workload and per-switch G-FIB
+    storage as the size cap sweeps (the Appendix C trade-off), plus the
+    bargained limit from the Rubinstein negotiation.
+
+    A3 — Bloom sizing: false-positive-driven duplicate deliveries and
+    drops as bits/entry sweeps. *)
+
+module Table = Lazyctrl_util.Table
+
+val group_size_table : ?seed:int -> ?n_flows:int -> ?limits:int list -> unit -> Table.t
+(** Short (6-hour) dynamic LazyCtrl runs per size limit. *)
+
+val negotiation_table : unit -> Table.t
+(** Equilibrium limits for a few controller/switch patience profiles,
+    closed form vs simulated game. *)
+
+val bloom_table : ?seed:int -> ?n_flows:int -> ?bits:int list -> unit -> Table.t
+(** Short runs per bits-per-entry setting: measured duplicates, FP drops,
+    and per-switch G-FIB bytes. *)
+
+val preload_table : ?seed:int -> ?n_flows:int -> unit -> Table.t
+(** Appendix B seamless-update preloading, on vs off: controller punts and
+    packet-ins during a dynamic (frequently regrouping) run. *)
+
+val exclusion_table : ?seed:int -> ?n_flows:int -> ?fractions:float list -> unit -> Table.t
+(** Appendix B host exclusion: W_inter of IniGroup when the top-fanout
+    hosts are excluded from the intensity matrix. *)
+
+val batch_table : ?seed:int -> ?n_flows:int -> unit -> Table.t
+(** Appendix B parallel IncUpdate: wall-clock and cut quality of N
+    sequential merge-and-split rounds vs one batched round (1 and 4
+    domains). *)

@@ -1,0 +1,21 @@
+(** §V-E cold-cache latency: first-packet forwarding latency for fresh
+    flows among newly deployed hosts, in three classes — LazyCtrl
+    intra-group, LazyCtrl inter-group, and standard OpenFlow.
+
+    The paper reports 0.83 ms / 5.38 ms / 15.06 ms respectively; the
+    mechanism (data-plane-only vs one controller round-trip per leg vs a
+    slow controller round-trip on every leg) is what the simulation
+    reproduces. *)
+
+module Table = Lazyctrl_util.Table
+
+type result = {
+  lazy_intra_ms : float;
+  lazy_inter_ms : float;
+  openflow_ms : float;
+  n_flows : int;
+}
+
+val run : ?seed:int -> unit -> result
+
+val table : ?seed:int -> unit -> Table.t

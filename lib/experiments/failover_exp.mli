@@ -1,0 +1,15 @@
+(** Table I — failure inference — verified two ways.
+
+    [inference_table] exercises the pure Table I lookup over every loss
+    pattern. [endtoend_table] injects each failure class into a live
+    simulated network and reports the verdict the controller actually
+    acted on (via the failover hook), demonstrating the wheel, the ring
+    alarms, the echo timeout, and the §III-E recovery actions. *)
+
+module Table = Lazyctrl_util.Table
+
+val inference_table : unit -> Table.t
+
+val endtoend_table : ?seed:int -> unit -> Table.t
+(** One row per injected failure: control link, peer link (up), peer link
+    (down), switch; columns: injected, inferred, recovery observed. *)

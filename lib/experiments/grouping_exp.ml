@@ -1,0 +1,109 @@
+open Lazyctrl_traffic
+open Lazyctrl_grouping
+module Prng = Lazyctrl_util.Prng
+module Table = Lazyctrl_util.Table
+
+let default_syn_flows = 400_000
+let default_real_flows = 271_000
+
+let table2 ?(seed = 42) ?(n_flows_real = default_real_flows)
+    ?(n_flows_syn = default_syn_flows) () =
+  let tbl =
+    Table.create
+      [ "Trace"; "# of flows"; "Avg. centrality"; "p (%)"; "q (%)"; "Top-10% skew" ]
+  in
+  let centrality trace =
+    Analysis.avg_centrality ~rng:(Prng.create (seed + 99)) ~k:5 trace
+  in
+  let real = Workloads.real_trace ~seed ~n_flows:n_flows_real in
+  Table.add_row tbl
+    [
+      "Real";
+      Table.cell_int (Trace.n_flows real);
+      Table.cell_float (centrality real);
+      "N/A";
+      "N/A";
+      Table.cell_float (Analysis.skew real ~top_fraction:0.1);
+    ];
+  List.iter
+    (fun (label, p, q) ->
+      let t = Workloads.syn_trace ~seed ~n_flows:n_flows_syn ~p ~q in
+      Table.add_row tbl
+        [
+          label;
+          Table.cell_int (Trace.n_flows t);
+          Table.cell_float (centrality t);
+          Table.cell_int p;
+          Table.cell_int q;
+          Table.cell_float (Analysis.skew t ~top_fraction:0.1);
+        ])
+    Workloads.syn_specs;
+  tbl
+
+let syn_intensity ~seed ~n_flows_syn (label, p, q) =
+  let topo = Workloads.syn_topo ~seed in
+  let trace = Workloads.syn_trace ~seed ~n_flows:n_flows_syn ~p ~q in
+  (label, Analysis.switch_intensity ~topo trace)
+
+let fig6a ?(seed = 42) ?(n_flows_syn = default_syn_flows)
+    ?(group_counts = [ 5; 10; 20; 40; 60; 80; 100; 120; 140 ]) () =
+  let graphs =
+    List.map (syn_intensity ~seed ~n_flows_syn) Workloads.syn_specs
+  in
+  let tbl =
+    Table.create
+      ("# of groups" :: List.map (fun (label, _) -> label ^ " W_inter (%)") graphs)
+  in
+  let n = Lazyctrl_graph.Wgraph.n_vertices (snd (List.hd graphs)) in
+  List.iter
+    (fun k ->
+      let cells =
+        List.map
+          (fun (_, g) ->
+            (* "Even" groups: limit = ceil(n/k) with 5% slack. *)
+            let limit =
+              max 1 (int_of_float (Float.ceil (1.05 *. Float.of_int n /. Float.of_int k)))
+            in
+            let grouping =
+              Sgi.ini_group ~rng:(Prng.create (seed + k)) ~limit ~k g
+            in
+            Table.cell_float (100.0 *. Grouping.normalized_inter g grouping))
+          graphs
+      in
+      Table.add_row tbl (Table.cell_int k :: cells))
+    group_counts;
+  tbl
+
+let fig6b ?(seed = 42) ?(n_flows_syn = default_syn_flows)
+    ?(limits = [ 50; 100; 200; 300; 400; 500; 600 ]) () =
+  let graphs =
+    List.map (syn_intensity ~seed ~n_flows_syn) Workloads.syn_specs
+  in
+  let tbl =
+    Table.create
+      ("Group size limit"
+      :: List.concat_map
+           (fun (label, _) -> [ label ^ " IniGroup (s)"; label ^ " IncUpdate (s)" ])
+           graphs)
+  in
+  List.iter
+    (fun limit ->
+      let cells =
+        List.concat_map
+          (fun (_, g) ->
+            let rng = Prng.create (seed + limit) in
+            let t0 = Sys.time () in
+            let grouping = Sgi.ini_group ~rng ~limit g in
+            let t1 = Sys.time () in
+            (* One incremental merge-and-split round on the same graph. *)
+            ignore (Sgi.inc_update ~rng ~limit ~intensity:g grouping);
+            let t2 = Sys.time () in
+            [
+              Table.cell_float ~decimals:3 (t1 -. t0);
+              Table.cell_float ~decimals:4 (t2 -. t1);
+            ])
+          graphs
+      in
+      Table.add_row tbl (Table.cell_int limit :: cells))
+    limits;
+  tbl

@@ -1,0 +1,19 @@
+(** Grouping-quality experiments: Table II and Fig. 6.
+
+    These run at paper scale (272-switch real-like topology; 2721-switch
+    synthetic topology) but need no packet simulation — only traces,
+    intensity matrices, and the partitioner. *)
+
+module Table = Lazyctrl_util.Table
+
+val table2 : ?seed:int -> ?n_flows_real:int -> ?n_flows_syn:int -> unit -> Table.t
+(** Trace characteristics: flow count, average centrality (5-way host
+    partition, as in §II), p, q — plus the measured top-10% flow skew. *)
+
+val fig6a : ?seed:int -> ?n_flows_syn:int -> ?group_counts:int list -> unit -> Table.t
+(** Normalized inter-group traffic intensity (%) of IniGroup vs number of
+    groups, for Syn-A/B/C. *)
+
+val fig6b : ?seed:int -> ?n_flows_syn:int -> ?limits:int list -> unit -> Table.t
+(** IniGroup wall-clock computation time (s) vs group size limit, for
+    Syn-A/B/C, plus the IncUpdate speedup column (ablation A1). *)

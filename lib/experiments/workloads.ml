@@ -1,0 +1,77 @@
+open Lazyctrl_sim
+open Lazyctrl_topo
+open Lazyctrl_traffic
+module Prng = Lazyctrl_util.Prng
+
+let horizon = Time.of_hour 24
+
+let syn_specs = [ ("Syn-A", 90, 10); ("Syn-B", 70, 20); ("Syn-C", 70, 30) ]
+
+(* Per-process memo tables so bench targets sharing a workload do not pay
+   for generation twice. *)
+let memo : (string, Obj.t) Hashtbl.t = Hashtbl.create 16
+
+let memoize key (f : unit -> 'a) : 'a =
+  match Hashtbl.find_opt memo key with
+  | Some v -> Obj.obj v
+  | None ->
+      let v = f () in
+      Hashtbl.replace memo key (Obj.repr v);
+      v
+
+let paper_topo ~seed =
+  memoize (Printf.sprintf "paper_topo/%d" seed) (fun () ->
+      Placement.generate ~rng:(Prng.create (seed * 7 + 1)) Placement.default)
+
+let syn_topo ~seed =
+  memoize (Printf.sprintf "syn_topo/%d" seed) (fun () ->
+      Placement.generate
+        ~rng:(Prng.create (seed * 7 + 2))
+        (Placement.scaled ~factor:10 Placement.default))
+
+let sim_spec =
+  {
+    Placement.n_switches = 68;
+    n_tenants = 30;
+    tenant_size_min = 20;
+    tenant_size_max = 100;
+    racks_per_tenant = 4;
+    stray_fraction = 0.05;
+  }
+
+let sim_topo ~seed =
+  memoize (Printf.sprintf "sim_topo/%d" seed) (fun () ->
+      Placement.generate ~rng:(Prng.create (seed * 7 + 3)) sim_spec)
+
+let real_trace ~seed ~n_flows =
+  memoize (Printf.sprintf "real_trace/%d/%d" seed n_flows) (fun () ->
+      Gen.real_like
+        ~rng:(Prng.create (seed * 7 + 4))
+        ~topo:(paper_topo ~seed) ~n_flows ())
+
+let sim_trace ~seed ~n_flows =
+  memoize (Printf.sprintf "sim_trace/%d/%d" seed n_flows) (fun () ->
+      Gen.real_like
+        ~rng:(Prng.create (seed * 7 + 5))
+        ~topo:(sim_topo ~seed) ~n_flows ())
+
+let sim_trace_expanded ~seed ~n_flows =
+  memoize (Printf.sprintf "sim_trace_exp/%d/%d" seed n_flows) (fun () ->
+      Gen.expand
+        ~rng:(Prng.create (seed * 7 + 6))
+        ~topo:(sim_topo ~seed) ~extra_fraction:0.30 ~from_hour:8 ~until_hour:24
+        (sim_trace ~seed ~n_flows))
+
+let syn_trace ~seed ~n_flows ~p ~q =
+  memoize (Printf.sprintf "syn_trace/%d/%d/%d/%d" seed n_flows p q) (fun () ->
+      let base =
+        (* A small base trace supplies payload sizes and timestamps. *)
+        Gen.real_like
+          ~rng:(Prng.create (seed * 7 + 7))
+          ~topo:(paper_topo ~seed)
+          ~n_flows:(max 10_000 (n_flows / 10))
+          ()
+      in
+      Gen.synthetic
+        ~rng:(Prng.create ((seed * 7) + 8 + (p * 1000) + q))
+        ~topo:(syn_topo ~seed) ~base ~n_flows ~p ~q)

@@ -1,0 +1,45 @@
+(** Shared workload construction for the experiment suite.
+
+    Two scales exist, both seeded and deterministic:
+
+    - {e paper scale} — 272 switches / ~6.5k hosts (real trace) and 2721
+      switches / ~65k hosts (Syn-A/B/C), used by the grouping experiments
+      (Table II, Fig. 6), which only need traces and intensity matrices;
+    - {e sim scale} — a 68-switch / ~1.6k-host quarter-size network used
+      by the full packet-level simulations (Figs. 7–9, cold-cache), where
+      every control message is an event. Flow counts are sampled down
+      accordingly; EXPERIMENTS.md records the factors.
+
+    All generators are memoized per seed within a process run. *)
+
+open Lazyctrl_sim
+open Lazyctrl_topo
+open Lazyctrl_traffic
+
+val paper_topo : seed:int -> Topology.t
+(** 272 switches, ~6.5k hosts (Placement.default). *)
+
+val syn_topo : seed:int -> Topology.t
+(** The ×10 scale-up topology for Syn-A/B/C. *)
+
+val sim_topo : seed:int -> Topology.t
+(** Quarter-scale topology for packet-level runs. *)
+
+val real_trace : seed:int -> n_flows:int -> Trace.t
+(** Day-long real-like trace on {!paper_topo}. *)
+
+val sim_trace : seed:int -> n_flows:int -> Trace.t
+(** Day-long real-like trace on {!sim_topo}. *)
+
+val sim_trace_expanded : seed:int -> n_flows:int -> Trace.t
+(** {!sim_trace} with +30% fresh-pair flows during hours 8–24 (§V-D). *)
+
+val syn_trace : seed:int -> n_flows:int -> p:int -> q:int -> Trace.t
+(** Syn trace on {!syn_topo}, payloads resampled from a small base
+    real-like trace. *)
+
+val syn_specs : (string * int * int) list
+(** [("Syn-A", 90, 10); ("Syn-B", 70, 20); ("Syn-C", 70, 30)]. *)
+
+val horizon : Time.t
+(** 24 simulated hours. *)

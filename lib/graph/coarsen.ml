@@ -1,0 +1,55 @@
+let heavy_edge_matching ~rng g =
+  let n = Wgraph.n_vertices g in
+  let mate = Array.make n (-1) in
+  let order = Array.init n (fun i -> i) in
+  Lazyctrl_util.Prng.shuffle rng order;
+  Array.iter
+    (fun u ->
+      if mate.(u) < 0 then begin
+        (* Heaviest unmatched neighbour; ties broken by smaller id for
+           determinism given the visit order. *)
+        let best = ref (-1) and best_w = ref neg_infinity in
+        Wgraph.iter_neighbors g u (fun v w ->
+            if mate.(v) < 0 && v <> u then
+              if w > !best_w || (w = !best_w && (!best < 0 || v < !best)) then begin
+                best := v;
+                best_w := w
+              end);
+        if !best >= 0 then begin
+          mate.(u) <- !best;
+          mate.(!best) <- u
+        end
+        else mate.(u) <- u
+      end)
+    order;
+  (* Assign dense coarse ids: each pair (or singleton) gets one id, owned
+     by its smaller endpoint. *)
+  let cmap = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    let m = if mate.(v) < 0 then v else mate.(v) in
+    if cmap.(v) < 0 then begin
+      let id = !next in
+      incr next;
+      cmap.(v) <- id;
+      if m <> v then cmap.(m) <- id
+    end
+  done;
+  cmap
+
+let contract g cmap =
+  let n = Wgraph.n_vertices g in
+  let n' = Array.fold_left (fun acc c -> max acc (c + 1)) 0 cmap in
+  let b = Wgraph.Builder.create ~n:n' in
+  let cw = Array.make n' 0 in
+  for v = 0 to n - 1 do
+    cw.(cmap.(v)) <- cw.(cmap.(v)) + Wgraph.vertex_weight g v
+  done;
+  Array.iteri (fun c w -> Wgraph.Builder.set_vertex_weight b c (max w 1)) cw;
+  Wgraph.iter_edges g (fun u v w ->
+      if cmap.(u) <> cmap.(v) then Wgraph.Builder.add_edge b cmap.(u) cmap.(v) w);
+  Wgraph.Builder.build b
+
+let coarsen ~rng g =
+  let cmap = heavy_edge_matching ~rng g in
+  (contract g cmap, cmap)

@@ -1,0 +1,98 @@
+module Heap = Lazyctrl_util.Heap
+
+let cut_weight g side =
+  let w = ref 0.0 in
+  Wgraph.iter_edges g (fun u v ew -> if side.(u) <> side.(v) then w := !w +. ew);
+  !w
+
+(* Stoer–Wagner with vertex merging tracked by explicit membership lists.
+   Each "supervertex" is a set of original vertices; adjacency between
+   supervertices is kept in hashtables and updated on merge. *)
+let stoer_wagner g =
+  let n = Wgraph.n_vertices g in
+  if n < 2 then invalid_arg "Mincut.stoer_wagner: need at least 2 vertices";
+  (* alive supervertices; adj.(i) maps supervertex j -> weight *)
+  let alive = Array.make n true in
+  let members = Array.init n (fun v -> [ v ]) in
+  let adj = Array.init n (fun _ -> Hashtbl.create 8) in
+  Wgraph.iter_edges g (fun u v w ->
+      let bump a b =
+        Hashtbl.replace adj.(a) b
+          (w +. Option.value (Hashtbl.find_opt adj.(a) b) ~default:0.0)
+      in
+      bump u v;
+      bump v u);
+  let best_weight = ref infinity in
+  let best_side = ref [] in
+  let n_alive = ref n in
+  while !n_alive > 1 do
+    (* Maximum-adjacency search over alive supervertices. *)
+    let in_a = Array.make n false in
+    let heap = Heap.Indexed.create n in
+    let start = ref (-1) in
+    (for v = 0 to n - 1 do
+       if alive.(v) && !start < 0 then start := v
+     done);
+    let order = ref [] in
+    let add_to_a v =
+      in_a.(v) <- true;
+      order := v :: !order;
+      Heap.Indexed.remove heap v;
+      Hashtbl.iter
+        (fun u w ->
+          if alive.(u) && not in_a.(u) then
+            let prev = try Heap.Indexed.priority heap u with Not_found -> 0.0 in
+            Heap.Indexed.adjust heap u (prev +. w))
+        adj.(v)
+    in
+    add_to_a !start;
+    let last = ref !start and before_last = ref !start and last_w = ref 0.0 in
+    let remaining = ref (!n_alive - 1) in
+    while !remaining > 0 do
+      match Heap.Indexed.pop_max heap with
+      | Some (v, w) ->
+          before_last := !last;
+          last := v;
+          last_w := w;
+          add_to_a v;
+          decr remaining
+      | None ->
+          (* Disconnected: pick any alive vertex not yet in A with weight 0. *)
+          let v = ref (-1) in
+          for u = 0 to n - 1 do
+            if alive.(u) && (not in_a.(u)) && !v < 0 then v := u
+          done;
+          before_last := !last;
+          last := !v;
+          last_w := 0.0;
+          add_to_a !v;
+          decr remaining
+    done;
+    (* Cut-of-the-phase: the last vertex added vs the rest. *)
+    if !last_w < !best_weight then begin
+      best_weight := !last_w;
+      best_side := members.(!last)
+    end;
+    (* Merge last into before_last. *)
+    let s = !before_last and t = !last in
+    alive.(t) <- false;
+    decr n_alive;
+    members.(s) <- members.(t) @ members.(s);
+    Hashtbl.iter
+      (fun u w ->
+        if u <> s && alive.(u) then begin
+          let bump a b =
+            Hashtbl.replace adj.(a) b
+              (w +. Option.value (Hashtbl.find_opt adj.(a) b) ~default:0.0)
+          in
+          bump s u;
+          bump u s
+        end;
+        Hashtbl.remove adj.(u) t)
+      adj.(t);
+    Hashtbl.reset adj.(t);
+    Hashtbl.remove adj.(s) t
+  done;
+  let side = Array.make n false in
+  List.iter (fun v -> side.(v) <- true) !best_side;
+  (!best_weight, side)

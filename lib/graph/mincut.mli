@@ -1,0 +1,15 @@
+(** Global minimum cut by the Stoer–Wagner algorithm (the paper's cited
+    primitive for splitting a merged group, [29]).
+
+    O(V·E + V² log V) via maximum-adjacency search with an indexed heap.
+    Intended for the merged two-group subgraphs handled by [IncUpdate]
+    (hundreds of vertices), not for the full data-center graph. *)
+
+val stoer_wagner : Wgraph.t -> float * bool array
+(** [stoer_wagner g] returns the weight of a global minimum cut and a
+    side marker ([true] for vertices on one side). The graph must have at
+    least 2 vertices; disconnected graphs yield a 0-weight cut.
+    @raise Invalid_argument with fewer than 2 vertices. *)
+
+val cut_weight : Wgraph.t -> bool array -> float
+(** Weight of the cut induced by a side marker. *)

@@ -1,0 +1,132 @@
+type t = {
+  xadj : int array; (* n+1 offsets into adjncy *)
+  adjncy : int array;
+  adjwgt : float array;
+  vwgt : int array;
+  total_ew : float;
+}
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    n : int;
+    edges : (int * int, float) Hashtbl.t; (* key has u < v *)
+    weights : int array;
+  }
+
+  let create ~n =
+    if n < 0 then invalid_arg "Wgraph.Builder.create: negative size";
+    { n; edges = Hashtbl.create (4 * n); weights = Array.make (max n 1) 1 }
+
+  let check t v =
+    if v < 0 || v >= t.n then invalid_arg "Wgraph.Builder: vertex out of range"
+
+  let add_edge t u v w =
+    check t u;
+    check t v;
+    if w < 0.0 then invalid_arg "Wgraph.Builder.add_edge: negative weight";
+    if u <> v && w > 0.0 then begin
+      let key = if u < v then (u, v) else (v, u) in
+      let prev = Option.value (Hashtbl.find_opt t.edges key) ~default:0.0 in
+      Hashtbl.replace t.edges key (prev +. w)
+    end
+
+  let set_vertex_weight t v w =
+    check t v;
+    if w <= 0 then invalid_arg "Wgraph.Builder.set_vertex_weight: non-positive";
+    t.weights.(v) <- w
+
+  let build t =
+    let deg = Array.make t.n 0 in
+    Hashtbl.iter
+      (fun (u, v) _ ->
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1)
+      t.edges;
+    let xadj = Array.make (t.n + 1) 0 in
+    for i = 0 to t.n - 1 do
+      xadj.(i + 1) <- xadj.(i) + deg.(i)
+    done;
+    let m2 = xadj.(t.n) in
+    let adjncy = Array.make m2 0 in
+    let adjwgt = Array.make m2 0.0 in
+    let cursor = Array.copy xadj in
+    let total = ref 0.0 in
+    (* Deterministic edge order: sort the edge list. *)
+    let edge_list =
+      Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) t.edges []
+      |> List.sort (fun (a, b, _) (c, d, _) ->
+             match Int.compare a c with 0 -> Int.compare b d | o -> o)
+    in
+    List.iter
+      (fun (u, v, w) ->
+        adjncy.(cursor.(u)) <- v;
+        adjwgt.(cursor.(u)) <- w;
+        cursor.(u) <- cursor.(u) + 1;
+        adjncy.(cursor.(v)) <- u;
+        adjwgt.(cursor.(v)) <- w;
+        cursor.(v) <- cursor.(v) + 1;
+        total := !total +. w)
+      edge_list;
+    { xadj; adjncy; adjwgt; vwgt = Array.sub t.weights 0 t.n; total_ew = !total }
+end
+
+let n_vertices t = Array.length t.vwgt
+let n_edges t = Array.length t.adjncy / 2
+let vertex_weight t v = t.vwgt.(v)
+let total_vertex_weight t = Array.fold_left ( + ) 0 t.vwgt
+let total_edge_weight t = t.total_ew
+let degree t v = t.xadj.(v + 1) - t.xadj.(v)
+
+let iter_neighbors t u f =
+  for i = t.xadj.(u) to t.xadj.(u + 1) - 1 do
+    f t.adjncy.(i) t.adjwgt.(i)
+  done
+
+let fold_neighbors t u f init =
+  let acc = ref init in
+  iter_neighbors t u (fun v w -> acc := f !acc v w);
+  !acc
+
+let iter_edges t f =
+  for u = 0 to n_vertices t - 1 do
+    iter_neighbors t u (fun v w -> if u < v then f u v w)
+  done
+
+let edge_weight t u v =
+  fold_neighbors t u (fun acc x w -> if x = v then acc +. w else acc) 0.0
+
+let weight_between t xs ys =
+  let in_y = Hashtbl.create (List.length ys) in
+  List.iter (fun y -> Hashtbl.replace in_y y ()) ys;
+  List.fold_left
+    (fun acc x ->
+      fold_neighbors t x
+        (fun acc v w -> if Hashtbl.mem in_y v then acc +. w else acc)
+        acc)
+    0.0 xs
+
+let induced t vs =
+  let n' = Array.length vs in
+  let index = Hashtbl.create n' in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) vs;
+  let b = Builder.create ~n:n' in
+  Array.iteri
+    (fun i v ->
+      Builder.set_vertex_weight b i (vertex_weight t v);
+      iter_neighbors t v (fun u w ->
+          match Hashtbl.find_opt index u with
+          | Some j when i < j -> Builder.add_edge b i j w
+          | _ -> ()))
+    vs;
+  (Builder.build b, vs)
+
+let of_edges ~n edges =
+  let b = Builder.create ~n in
+  List.iter (fun (u, v, w) -> Builder.add_edge b u v w) edges;
+  Builder.build b
+
+let pp fmt t =
+  Format.fprintf fmt "graph(n=%d m=%d ew=%.2f)" (n_vertices t) (n_edges t)
+    (total_edge_weight t)

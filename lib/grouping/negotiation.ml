@@ -1,0 +1,57 @@
+type player = { ideal : int; discount : float }
+
+let check p name =
+  if p.discount <= 0.0 || p.discount >= 1.0 then
+    invalid_arg (name ^ ": discount outside (0,1)");
+  if p.ideal < 1 then invalid_arg (name ^ ": ideal < 1")
+
+let proposer_share ~proposer ~responder =
+  (1.0 -. responder.discount) /. (1.0 -. (proposer.discount *. responder.discount))
+
+let equilibrium_limit ~controller ~switches =
+  check controller "Negotiation: controller";
+  check switches "Negotiation: switches";
+  let share = proposer_share ~proposer:controller ~responder:switches in
+  let lo = Float.of_int switches.ideal and hi = Float.of_int controller.ideal in
+  (* The controller's share pulls the agreed limit toward its own ideal,
+     whichever side of the interval that is. *)
+  int_of_float (Float.round (lo +. (share *. (hi -. lo))))
+
+type outcome = { limit : int; rounds : int; proposer_share : float }
+
+let simulate ?(max_rounds = 64) ?(epsilon = 1e-9) ~controller ~switches () =
+  check controller "Negotiation: controller";
+  check switches "Negotiation: switches";
+  if max_rounds < 1 then invalid_arg "Negotiation.simulate: max_rounds < 1";
+  (* Backward induction on a normalized pie of size 1 for the proposer of
+     round 0 (the controller). [value r] is the share of the round-[r]
+     proposer in the subgame starting at round [r]; in the final round the
+     proposer takes everything. *)
+  let rec value r =
+    if r = max_rounds - 1 then 1.0
+    else
+      let responder_discount =
+        if r mod 2 = 0 then switches.discount else controller.discount
+      in
+      1.0 -. (responder_discount *. value (r + 1))
+  in
+  let share0 = value 0 in
+  (* Play forward: round-0 proposer offers the responder exactly their
+     continuation value; a rational responder accepts within epsilon. *)
+  let responder_cont = switches.discount *. value 1 in
+  let offer = 1.0 -. share0 in
+  let rounds = if offer +. epsilon >= responder_cont then 1 else max_rounds in
+  let lo = Float.of_int switches.ideal and hi = Float.of_int controller.ideal in
+  {
+    limit = int_of_float (Float.round (lo +. (share0 *. (hi -. lo))));
+    rounds;
+    proposer_share = share0;
+  }
+
+let capacity_preference ~tcam_entries ~lfib_entry_bytes ~gfib_bytes_per_peer =
+  if tcam_entries <= 0 || lfib_entry_bytes <= 0 || gfib_bytes_per_peer <= 0 then
+    invalid_arg "Negotiation.capacity_preference: non-positive budget";
+  (* Budget in bytes; a group of size s costs (s-1) Bloom filters plus the
+     local table. Largest s with (s-1)*gfib + lfib-ish <= budget. *)
+  let budget = tcam_entries * lfib_entry_bytes in
+  max 1 (1 + ((budget - lfib_entry_bytes) / gfib_bytes_per_peer))

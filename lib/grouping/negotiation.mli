@@ -1,0 +1,42 @@
+(** Group-size-limit negotiation (Appendix C).
+
+    The paper sketches a modified Rubinstein alternating-offers bargaining
+    game between the controller (which wants {e large} groups — fewer
+    inter-group events, a lazier controller) and the switches (which want
+    {e small} groups — fewer L-FIB/G-FIB entries and less state to gossip).
+
+    The bargaining pie is the interval between the switches' preferred
+    limit and the controller's preferred limit. With discount factors
+    [delta_c] and [delta_s] (impatience: how fast each side's utility
+    decays per round of disagreement), the unique subgame-perfect
+    equilibrium gives the proposer (controller) the share
+    [(1 - delta_s) / (1 - delta_c * delta_s)] of the pie, accepted in the
+    first round. [simulate] plays the game explicitly and must agree with
+    the closed form; it also reports the round of agreement when players
+    deviate from equilibrium offers by an [epsilon]. *)
+
+type player = {
+  ideal : int;      (** preferred group-size limit *)
+  discount : float; (** per-round utility retention, in (0,1) *)
+}
+
+val equilibrium_limit : controller:player -> switches:player -> int
+(** Closed-form Rubinstein split of the [switches.ideal .. controller.ideal]
+    interval (controller proposes first). Works for either ordering of the
+    two ideals. @raise Invalid_argument on discounts outside (0,1). *)
+
+type outcome = { limit : int; rounds : int; proposer_share : float }
+
+val simulate :
+  ?max_rounds:int -> ?epsilon:float -> controller:player -> switches:player ->
+  unit -> outcome
+(** Alternating offers with backward induction from [max_rounds] (default
+    64): each proposer offers the responder exactly the responder's
+    discounted continuation value (plus [epsilon] slack, default 1e-9).
+    Converges to the closed form as [max_rounds] grows. *)
+
+val capacity_preference :
+  tcam_entries:int -> lfib_entry_bytes:int -> gfib_bytes_per_peer:int -> int
+(** A concrete switch-side ideal: the largest group size whose per-switch
+    G-FIB state fits the given TCAM/SRAM budget (cf. §V-D's 92,160-byte
+    example). *)

@@ -1,0 +1,76 @@
+open Lazyctrl_sim
+module Stats = Lazyctrl_util.Stats
+
+type t = {
+  engine : Engine.t;
+  bucket : Time.t;
+  workload : Stats.Timeseries.t;
+  latency : Stats.Timeseries.t;       (* all packets, ms *)
+  first_latency : Stats.Timeseries.t; (* first packets only, ms *)
+  updates : Stats.Timeseries.t;       (* hourly *)
+  first_summary : Stats.Online.t;
+  mutable requests : int;
+  mutable update_count : int;
+}
+
+let create engine ~horizon ?(bucket = Time.of_hour 2) () =
+  let n_buckets =
+    max 1 ((Time.to_ns horizon + Time.to_ns bucket - 1) / Time.to_ns bucket)
+  in
+  let hours =
+    max 1
+      ((Time.to_ns horizon + Time.to_ns (Time.of_hour 1) - 1)
+      / Time.to_ns (Time.of_hour 1))
+  in
+  let series () =
+    Stats.Timeseries.create ~bucket_width:(Time.to_float_sec bucket) ~n_buckets
+  in
+  {
+    engine;
+    bucket;
+    workload = series ();
+    latency = series ();
+    first_latency = series ();
+    updates =
+      Stats.Timeseries.create
+        ~bucket_width:(Time.to_float_sec (Time.of_hour 1))
+        ~n_buckets:hours;
+    first_summary = Stats.Online.create ();
+    requests = 0;
+    update_count = 0;
+  }
+
+let now_s t = Time.to_float_sec (Engine.now t.engine)
+
+let on_controller_request t =
+  t.requests <- t.requests + 1;
+  Stats.Timeseries.record t.workload ~time:(now_s t) 1.0
+
+let on_grouping_update t =
+  t.update_count <- t.update_count + 1;
+  Stats.Timeseries.record t.updates ~time:(now_s t) 1.0
+
+let record_first_packet_latency t lat =
+  let ms = Time.to_float_ms lat in
+  Stats.Timeseries.record t.latency ~time:(now_s t) ms;
+  Stats.Timeseries.record t.first_latency ~time:(now_s t) ms;
+  Stats.Online.add t.first_summary ms
+
+let record_fast_path_latency t ~n lat =
+  Stats.Timeseries.record_n t.latency ~time:(now_s t) ~n (Time.to_float_ms lat)
+
+let workload_rps t = Stats.Timeseries.rates t.workload
+let latency_ms_series t = Stats.Timeseries.means t.latency
+let first_latency_ms_series t = Stats.Timeseries.means t.first_latency
+
+let updates_per_hour t = Stats.Timeseries.counts t.updates
+
+let total_requests t = t.requests
+let total_updates t = t.update_count
+let first_latency_summary t = t.first_summary
+
+let bucket_label t i =
+  let h = Time.to_ns t.bucket / Time.to_ns (Time.of_hour 1) in
+  Printf.sprintf "%d-%d" (i * h) ((i + 1) * h)
+
+let n_buckets t = Array.length (Stats.Timeseries.counts t.workload)

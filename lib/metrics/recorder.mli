@@ -1,0 +1,45 @@
+(** Measurement taps for the paper's evaluation series.
+
+    One recorder per simulation run collects: the controller-workload time
+    series (Fig. 7: requests per second, bucketed per 2 simulated hours),
+    the forwarding-latency series (Fig. 9: average over all processed
+    packets per bucket), grouping-update counts per hour (Fig. 8), and
+    cold-cache first-packet samples (§V-E). *)
+
+open Lazyctrl_sim
+
+type t
+
+val create : Engine.t -> horizon:Time.t -> ?bucket:Time.t -> unit -> t
+(** Default bucket: 2 h, as in Figs. 7 and 9. Updates are always bucketed
+    hourly (Fig. 8). *)
+
+val on_controller_request : t -> unit
+val on_grouping_update : t -> unit
+
+val record_first_packet_latency : t -> Time.t -> unit
+(** First packet of a flow, end-to-end host-to-host. *)
+
+val record_fast_path_latency : t -> n:int -> Time.t -> unit
+(** [n] subsequent packets of a flow taking the data-plane fast path (they
+    are accounted in bulk, not individually simulated). *)
+
+val workload_rps : t -> float array
+(** Requests per second of simulated time, per bucket. *)
+
+val latency_ms_series : t -> float array
+(** Mean forwarding latency (ms) over all packets, per bucket. *)
+
+val first_latency_ms_series : t -> float array
+(** Mean first-packet latency (ms), per bucket. *)
+
+val updates_per_hour : t -> int array
+
+val total_requests : t -> int
+val total_updates : t -> int
+
+val first_latency_summary : t -> Lazyctrl_util.Stats.Online.t
+val bucket_label : t -> int -> string
+(** ["0-2"], ["2-4"], … in hours. *)
+
+val n_buckets : t -> int

@@ -1,0 +1,47 @@
+module type ID = sig
+  type t = private int
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Tbl : Hashtbl.S with type key = t
+end
+
+module Make (P : sig
+  val prefix : string
+end) : ID = struct
+  type t = int
+
+  let of_int v =
+    if v < 0 then invalid_arg (P.prefix ^ " id: negative");
+    v
+
+  let to_int t = t
+  let compare = Int.compare
+  let equal = Int.equal
+  let hash t = t
+  let pp fmt t = Format.fprintf fmt "%s%d" P.prefix t
+
+  module Key = struct
+    type nonrec t = t
+
+    let compare = compare
+    let equal = equal
+    let hash = hash
+  end
+
+  module Set = Set.Make (Key)
+  module Map = Map.Make (Key)
+  module Tbl = Hashtbl.Make (Key)
+end
+
+module Switch_id = Make (struct let prefix = "sw" end)
+module Host_id = Make (struct let prefix = "h" end)
+module Tenant_id = Make (struct let prefix = "t" end)
+module Group_id = Make (struct let prefix = "g" end)

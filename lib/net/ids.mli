@@ -1,0 +1,34 @@
+(** Opaque identifiers for switches, hosts, tenants, and groups.
+
+    Each id is a non-negative integer under the hood; the phantom-free
+    single-module-per-kind style keeps them from being mixed up at use
+    sites while staying cheap enough to use as array indices. *)
+
+module type ID = sig
+  type t = private int
+
+  val of_int : int -> t
+  (** @raise Invalid_argument when negative. *)
+
+  val to_int : t -> int
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Tbl : Hashtbl.S with type key = t
+end
+
+module Switch_id : ID
+(** Edge-switch identifier; printed as ["sw<N>"]. *)
+
+module Host_id : ID
+(** Host (virtual machine) identifier; printed as ["h<N>"]. *)
+
+module Tenant_id : ID
+(** Tenant identifier; printed as ["t<N>"]. *)
+
+module Group_id : ID
+(** Local-control-group identifier; printed as ["g<N>"]. *)

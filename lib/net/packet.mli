@@ -1,0 +1,79 @@
+(** Frames exchanged in the data plane.
+
+    Two levels exist, mirroring the paper's overlay design: a {e plain}
+    Ethernet frame as emitted by a host, and an {e encapsulated} frame —
+    a plain frame wrapped in a GRE-like outer IP header addressed to a
+    remote edge switch's underlay endpoint.
+
+    A compact binary wire format is provided so that tables, channels and
+    Bloom filters can be exercised against realistic byte strings. *)
+
+type arp_op = Request | Reply
+
+type arp = {
+  op : arp_op;
+  sender_mac : Mac.t;
+  sender_ip : Ipv4.t;
+  target_mac : Mac.t; (* all-zero in requests *)
+  target_ip : Ipv4.t;
+}
+
+type ipv4_payload = {
+  src_ip : Ipv4.t;
+  dst_ip : Ipv4.t;
+  protocol : int; (* 6 = TCP, 17 = UDP *)
+  src_port : int;
+  dst_port : int;
+  length : int; (* payload bytes carried, for accounting *)
+}
+
+type payload = Arp of arp | Ipv4 of ipv4_payload
+
+type eth = {
+  src : Mac.t;
+  dst : Mac.t;
+  vlan : int option; (* 802.1Q tenant tag *)
+  payload : payload;
+}
+
+type t =
+  | Plain of eth
+  | Encap of { outer_src : Ipv4.t; outer_dst : Ipv4.t; inner : eth }
+
+val arp_request : sender:Host.t -> target_ip:Ipv4.t -> ?vlan:int -> unit -> t
+(** Broadcast ARP who-has frame from a host. *)
+
+val arp_reply : sender:Host.t -> requester:Host.t -> ?vlan:int -> unit -> t
+
+val data : src:Host.t -> dst:Host.t -> ?vlan:int -> ?protocol:int ->
+  ?src_port:int -> ?dst_port:int -> length:int -> unit -> t
+(** Unicast IPv4 data frame between two hosts. *)
+
+val encap : outer_src:Ipv4.t -> outer_dst:Ipv4.t -> eth -> t
+(** Wrap a plain frame for underlay transport.
+    @raise Invalid_argument when applied to an already encapsulated frame
+    indirectly (callers pass the inner [eth] explicitly, so this cannot
+    nest). *)
+
+val decap : t -> eth
+(** @raise Invalid_argument on a plain frame. *)
+
+val eth_of : t -> eth
+(** The innermost Ethernet frame of either form. *)
+
+val is_broadcast : t -> bool
+val size_on_wire : t -> int
+(** Logical on-wire size in bytes: all headers plus the carried payload
+    length. Used for bandwidth accounting. *)
+
+val to_bytes : t -> bytes
+(** Header-only encoding — the synthetic payload body is represented by
+    its length field, not materialized, so [Bytes.length (to_bytes p)] is
+    [size_on_wire p] minus the payload length. *)
+
+val of_bytes : bytes -> t
+(** Inverse of {!to_bytes}.
+    @raise Invalid_argument on truncated or malformed input. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

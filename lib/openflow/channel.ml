@@ -1,0 +1,77 @@
+open Lazyctrl_sim
+
+type 'msg t = {
+  engine : Engine.t;
+  latency : Time.t;
+  jitter : (unit -> Time.t) option;
+  chan_name : string;
+  mutable receiver : ('msg -> unit) option;
+  mutable up : bool;
+  mutable epoch : int; (* bumped on [fail]; in-flight messages of older epochs die *)
+  mutable last_delivery : Time.t;
+  mutable n_sent : int;
+  mutable n_delivered : int;
+  mutable n_dropped : int;
+}
+
+let create engine ~latency ?jitter ~name () =
+  {
+    engine;
+    latency;
+    jitter;
+    chan_name = name;
+    receiver = None;
+    up = true;
+    epoch = 0;
+    last_delivery = Time.zero;
+    n_sent = 0;
+    n_delivered = 0;
+    n_dropped = 0;
+  }
+
+let name t = t.chan_name
+
+let set_receiver t f = t.receiver <- Some f
+
+let send t msg =
+  if not t.up then begin
+    t.n_dropped <- t.n_dropped + 1;
+    false
+  end
+  else begin
+    t.n_sent <- t.n_sent + 1;
+    let delay =
+      match t.jitter with
+      | None -> t.latency
+      | Some j -> Time.add t.latency (j ())
+    in
+    let at =
+      (* FIFO: never deliver before a previously scheduled message. *)
+      Time.max (Time.add (Engine.now t.engine) delay) t.last_delivery
+    in
+    t.last_delivery <- at;
+    let epoch = t.epoch in
+    ignore
+      (Engine.schedule_at t.engine ~at (fun () ->
+           if t.up && epoch = t.epoch then
+             match t.receiver with
+             | Some f ->
+                 t.n_delivered <- t.n_delivered + 1;
+                 f msg
+             | None -> t.n_dropped <- t.n_dropped + 1
+           else t.n_dropped <- t.n_dropped + 1));
+    true
+  end
+
+let fail t =
+  if t.up then begin
+    t.up <- false;
+    t.epoch <- t.epoch + 1
+  end
+
+let repair t = t.up <- true
+
+let is_up t = t.up
+let sent t = t.n_sent
+let delivered t = t.n_delivered
+let dropped t = t.n_dropped

@@ -1,0 +1,41 @@
+(** Simulated control-plane channels (the paper's control, state and peer
+    links).
+
+    A channel is a unidirectional FIFO with a configurable base latency and
+    optional jitter, carried over the discrete-event engine. Delivery
+    order is always FIFO even under jitter (a later send never overtakes an
+    earlier one, like a TCP connection). Channels can be failed and
+    repaired to drive the failover machinery; messages sent while down are
+    counted as dropped. *)
+
+open Lazyctrl_sim
+
+type 'msg t
+
+val create :
+  Engine.t ->
+  latency:Time.t ->
+  ?jitter:(unit -> Time.t) ->
+  name:string ->
+  unit ->
+  'msg t
+
+val name : 'msg t -> string
+
+val set_receiver : 'msg t -> ('msg -> unit) -> unit
+(** Must be set before the first delivery fires; messages delivered with
+    no receiver are counted as dropped. *)
+
+val send : 'msg t -> 'msg -> bool
+(** Enqueue for delivery after the channel latency; [false] (and a drop)
+    when the channel is down. *)
+
+val fail : 'msg t -> unit
+(** Take the channel down. In-flight messages are lost. *)
+
+val repair : 'msg t -> unit
+val is_up : 'msg t -> bool
+
+val sent : 'msg t -> int
+val delivered : 'msg t -> int
+val dropped : 'msg t -> int

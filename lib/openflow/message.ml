@@ -1,0 +1,39 @@
+open Lazyctrl_net
+
+type reason = No_match | Action_punt
+
+type flow_mod = Add of Flow_table.entry | Delete of Ofmatch.t
+
+type 'ext t =
+  | Hello
+  | Echo_request of int
+  | Echo_reply of int
+  | Packet_in of { packet : Packet.t; reason : reason }
+  | Packet_out of { packet : Packet.t; actions : Action.t list }
+  | Flow_mod of flow_mod
+  | Extension of 'ext
+
+let is_packet_in = function Packet_in _ -> true | _ -> false
+
+let size_estimate ext_size = function
+  | Hello -> 8
+  | Echo_request _ | Echo_reply _ -> 12
+  | Packet_in { packet; _ } -> 18 + Packet.size_on_wire packet
+  | Packet_out { packet; actions } ->
+      16 + Packet.size_on_wire packet + (8 * List.length actions)
+  | Flow_mod (Add e) -> 72 + (8 * List.length e.actions)
+  | Flow_mod (Delete _) -> 72
+  | Extension e -> 16 + ext_size e
+
+let pp pp_ext fmt = function
+  | Hello -> Format.pp_print_string fmt "hello"
+  | Echo_request n -> Format.fprintf fmt "echo_request(%d)" n
+  | Echo_reply n -> Format.fprintf fmt "echo_reply(%d)" n
+  | Packet_in { packet; reason } ->
+      Format.fprintf fmt "packet_in(%s,%a)"
+        (match reason with No_match -> "no_match" | Action_punt -> "punt")
+        Packet.pp packet
+  | Packet_out { packet; _ } -> Format.fprintf fmt "packet_out(%a)" Packet.pp packet
+  | Flow_mod (Add e) -> Format.fprintf fmt "flow_mod+(%a)" Ofmatch.pp e.ofmatch
+  | Flow_mod (Delete m) -> Format.fprintf fmt "flow_mod-(%a)" Ofmatch.pp m
+  | Extension e -> Format.fprintf fmt "ext(%a)" pp_ext e

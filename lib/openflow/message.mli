@@ -1,0 +1,35 @@
+(** Control-plane messages.
+
+    The OpenFlow core is kept protocol-generic; LazyCtrl's protocol
+    extensions (group configuration, L-FIB/G-FIB dissemination, state
+    reports) are carried through the ['ext] parameter by the layers that
+    define them, mirroring how the paper extends OpenFlow v1.0 rather than
+    replacing it. *)
+
+open Lazyctrl_net
+
+type reason =
+  | No_match      (** table miss — the datapath punted the packet *)
+  | Action_punt   (** an explicit [To_controller] action fired *)
+
+type flow_mod =
+  | Add of Flow_table.entry
+  | Delete of Ofmatch.t
+      (** OpenFlow delete: removes entries subsumed by the match. *)
+
+type 'ext t =
+  | Hello
+  | Echo_request of int
+  | Echo_reply of int
+  | Packet_in of { packet : Packet.t; reason : reason }
+  | Packet_out of { packet : Packet.t; actions : Action.t list }
+  | Flow_mod of flow_mod
+  | Extension of 'ext
+
+val is_packet_in : 'ext t -> bool
+
+val size_estimate : ('ext -> int) -> 'ext t -> int
+(** Approximate wire size in bytes, for control-channel bandwidth
+    accounting; the argument sizes extension payloads. *)
+
+val pp : (Format.formatter -> 'ext -> unit) -> Format.formatter -> 'ext t -> unit

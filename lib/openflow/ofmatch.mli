@@ -1,0 +1,44 @@
+(** OpenFlow-1.0-style match structures over our frame model.
+
+    Every field is optional; [None] is a wildcard. A match applies to the
+    innermost Ethernet frame (rules are installed at edge switches, which
+    match on decapsulated traffic, as in the paper's Open vSwitch
+    datapath). *)
+
+open Lazyctrl_net
+
+type t = {
+  src_mac : Mac.t option;
+  dst_mac : Mac.t option;
+  vlan : int option;
+  src_ip : Ipv4.t option;
+  dst_ip : Ipv4.t option;
+  protocol : int option;
+  src_port : int option;
+  dst_port : int option;
+  arp_only : bool; (* when true, matches only ARP frames *)
+}
+
+val any : t
+(** Matches every frame. *)
+
+val exact_pair : src:Mac.t -> dst:Mac.t -> t
+(** The inter-group rule shape the controller installs: both MACs pinned,
+    everything else wild. *)
+
+val of_eth : Packet.eth -> t
+(** Microflow match: every field of the frame pinned (ARP frames pin the
+    MACs and VLAN only, with [arp_only] set). *)
+
+val matches : t -> Packet.eth -> bool
+
+val specificity : t -> int
+(** Number of pinned fields; used as a default priority so more specific
+    rules win. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes a b] when every frame matched by [b] is matched by [a]
+    (conservative: field-wise wildcard comparison). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+type event = {
+  time : Time.t;
+  seq : int;
+  mutable cancelled : bool;
+  mutable action : unit -> unit;
+}
+
+type event_id = event
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Lazyctrl_util.Heap.t;
+  mutable next_seq : int;
+  mutable live : int;
+  mutable fired : int;
+}
+
+let compare_event a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  {
+    clock = Time.zero;
+    queue = Lazyctrl_util.Heap.create ~cmp:compare_event;
+    next_seq = 0;
+    live = 0;
+    fired = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~at f =
+  if Time.(at < t.clock) then invalid_arg "Engine.schedule_at: time in the past";
+  let ev = { time = at; seq = t.next_seq; cancelled = false; action = f } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Lazyctrl_util.Heap.push t.queue ev;
+  ev
+
+let schedule t ~after f = schedule_at t ~at:(Time.add t.clock after) f
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    (* Virtual recurrence handles ([seq = -1]) are never in the queue; their
+       action cancels the currently armed instance instead. *)
+    if ev.seq >= 0 then t.live <- t.live - 1 else ev.action ()
+  end
+
+let every t ~period ?jitter f =
+  let current = ref None in
+  let rec arm () =
+    let delay = match jitter with None -> period | Some j -> Time.add period (j ()) in
+    current :=
+      Some
+        (schedule t ~after:delay (fun () ->
+             f ();
+             arm ()))
+  in
+  arm ();
+  let cancel_current () =
+    match !current with Some ev -> cancel t ev | None -> ()
+  in
+  { time = t.clock; seq = -1; cancelled = false; action = cancel_current }
+
+let pending t = t.live
+
+let fire t ev =
+  t.clock <- ev.time;
+  t.live <- t.live - 1;
+  t.fired <- t.fired + 1;
+  ev.action ()
+
+let step t =
+  let rec next () =
+    match Lazyctrl_util.Heap.pop t.queue with
+    | None -> false
+    | Some ev when ev.cancelled -> next ()
+    | Some ev ->
+        fire t ev;
+        true
+  in
+  next ()
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue do
+        match Lazyctrl_util.Heap.peek t.queue with
+        | None -> continue := false
+        | Some ev when ev.cancelled ->
+            ignore (Lazyctrl_util.Heap.pop t.queue)
+        | Some ev when Time.(ev.time > horizon) -> continue := false
+        | Some _ -> ignore (step t)
+      done;
+      if Time.(t.clock < horizon) then t.clock <- horizon
+
+let events_processed t = t.fired

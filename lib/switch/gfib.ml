@@ -1,0 +1,75 @@
+open Lazyctrl_net
+module Bloom = Lazyctrl_bloom.Bloom
+
+type t = {
+  bits_per_entry : int;
+  expected : int;
+  filters : Bloom.Counting.t Ids.Switch_id.Tbl.t;
+}
+
+let create ?(bits_per_entry = 128) ?(expected_hosts_per_switch = 64) () =
+  if bits_per_entry < 2 then invalid_arg "Gfib.create: bits_per_entry < 2";
+  {
+    bits_per_entry;
+    expected = max 1 expected_hosts_per_switch;
+    filters = Ids.Switch_id.Tbl.create 64;
+  }
+
+let fresh_filter t =
+  (* Two keys (MAC + IP) per host. *)
+  Bloom.Counting.create ~counters:(t.bits_per_entry * 2 * t.expected) ()
+
+let add_keys filter (keys : Proto.host_key list) =
+  List.iter
+    (fun (k : Proto.host_key) ->
+      Bloom.Counting.add filter (Proto.mac_key k.mac);
+      Bloom.Counting.add filter (Proto.ip_key k.ip))
+    keys
+
+let set_peer t peer keys =
+  let filter = fresh_filter t in
+  add_keys filter keys;
+  Ids.Switch_id.Tbl.replace t.filters peer filter
+
+let apply_advert t peer ~added ~removed =
+  let filter =
+    match Ids.Switch_id.Tbl.find_opt t.filters peer with
+    | Some f -> f
+    | None ->
+        let f = fresh_filter t in
+        Ids.Switch_id.Tbl.replace t.filters peer f;
+        f
+  in
+  add_keys filter added;
+  List.iter
+    (fun (k : Proto.host_key) ->
+      Bloom.Counting.remove filter (Proto.mac_key k.mac);
+      Bloom.Counting.remove filter (Proto.ip_key k.ip))
+    removed
+
+let drop_peer t peer = Ids.Switch_id.Tbl.remove t.filters peer
+
+let peers t =
+  Ids.Switch_id.Tbl.fold (fun p _ acc -> p :: acc) t.filters []
+  |> List.sort Ids.Switch_id.compare
+
+let n_peers t = Ids.Switch_id.Tbl.length t.filters
+
+let candidates key t =
+  Ids.Switch_id.Tbl.fold
+    (fun p f acc -> if Bloom.Counting.mem f key then p :: acc else acc)
+    t.filters []
+  |> List.sort Ids.Switch_id.compare
+
+let candidates_mac t mac = candidates (Proto.mac_key mac) t
+let candidates_ip t ip = candidates (Proto.ip_key ip) t
+
+let storage_bytes t =
+  (* Reported as the plain-Bloom wire size (bits), as in the paper's
+     92,160-byte example; the counting representation is a host-side
+     implementation detail. *)
+  Ids.Switch_id.Tbl.fold
+    (fun _ f acc -> acc + (Bloom.bits (Bloom.Counting.to_plain f) / 8))
+    t.filters 0
+
+let clear t = Ids.Switch_id.Tbl.reset t.filters

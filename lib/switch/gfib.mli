@@ -1,0 +1,41 @@
+(** Group Forwarding Information Base.
+
+    One counting Bloom filter per peer switch in the local control group,
+    each summarizing that peer's L-FIB (§III-D2). Queries return the
+    vector of peers whose filter claims the key — possibly several, due to
+    false positives, in which case the datapath sends a copy to each
+    (Fig. 5 line 18). Counting filters absorb incremental adds {e and}
+    removes from [Lfib_advert]s; the per-peer sizing follows the paper's
+    geometry of 128-byte Bloom blocks per 16 entries. *)
+
+open Lazyctrl_net
+
+type t
+
+val create : ?bits_per_entry:int -> ?expected_hosts_per_switch:int -> unit -> t
+(** Defaults: 128 bits/entry and 64 expected hosts per peer, i.e. a
+    2048-byte filter per peer — the paper's 16 blocks of 128 bytes —
+    giving a far-below-0.1% false-positive rate. Filters are sized once
+    per peer and rebuilt on full syncs. *)
+
+val set_peer : t -> Ids.Switch_id.t -> Proto.host_key list -> unit
+(** Full replacement of a peer's filter (grouping change / full sync). *)
+
+val apply_advert :
+  t -> Ids.Switch_id.t -> added:Proto.host_key list -> removed:Proto.host_key list -> unit
+(** Incremental update; unknown peers are created on first use. *)
+
+val drop_peer : t -> Ids.Switch_id.t -> unit
+val peers : t -> Ids.Switch_id.t list
+val n_peers : t -> int
+
+val candidates_mac : t -> Mac.t -> Ids.Switch_id.t list
+(** Peers whose filter matches the MAC, ascending id (deterministic). *)
+
+val candidates_ip : t -> Ipv4.t -> Ids.Switch_id.t list
+
+val storage_bytes : t -> int
+(** Total bit-array bytes across peers — the §V-D storage-overhead
+    metric. *)
+
+val clear : t -> unit

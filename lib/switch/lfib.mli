@@ -1,0 +1,40 @@
+(** Local Forwarding Information Base.
+
+    The per-switch table of locally attached hosts (VMs), looked up like
+    an ordinary layer-two MAC/ARP table (§III-D2), plus the bookkeeping
+    needed for dissemination: pending added/removed entries since the last
+    advertisement and a Bloom projection of the full table. *)
+
+open Lazyctrl_net
+
+type t
+
+val create : unit -> t
+
+val learn : t -> Host.t -> bool
+(** [true] when the host was new (an advertisement-worthy change). *)
+
+val forget : t -> Ids.Host_id.t -> bool
+(** [true] when the host was present. *)
+
+val lookup_mac : t -> Mac.t -> Host.t option
+val lookup_ip : t -> Ipv4.t -> Host.t option
+val mem_host : t -> Ids.Host_id.t -> bool
+val size : t -> int
+val hosts : t -> Host.t list
+
+val local_tenants : t -> Ids.Tenant_id.t list
+
+val hosts_of_tenant : t -> Ids.Tenant_id.t -> Host.t list
+
+val take_pending : t -> Proto.host_key list * Proto.host_key list
+(** [(added, removed)] since the previous call; clears the pending sets. *)
+
+val has_pending : t -> bool
+
+val all_keys : t -> Proto.host_key list
+(** Full table as advertisement keys (for full state syncs). *)
+
+val to_bloom : ?bits_per_entry:int -> t -> Lazyctrl_bloom.Bloom.t
+(** Bloom projection over both MAC and IP keys of every host; default
+    16 bits/entry (the paper's 128-byte/16-entry filter block geometry). *)

@@ -1,0 +1,125 @@
+open Lazyctrl_net
+open Lazyctrl_sim
+module Message = Lazyctrl_openflow.Message
+
+type host_key = { mac : Mac.t; ip : Ipv4.t; tenant : Ids.Tenant_id.t }
+
+(* Tag the two key spaces apart in the low bit; MACs are 48-bit and IPs
+   32-bit, so the shifted values stay well inside 62 bits. *)
+let mac_key m = (Mac.to_int m lsl 1) lor 1
+let ip_key ip = Ipv4.to_int ip lsl 1
+
+type group_config = {
+  group : Ids.Group_id.t;
+  members : Ids.Switch_id.t list;
+  designated : Ids.Switch_id.t;
+  backups : Ids.Switch_id.t list;
+  sync_period : Time.t;
+  keepalive_period : Time.t;
+}
+
+type lfib_delta = {
+  origin : Ids.Switch_id.t;
+  added : host_key list;
+  removed : host_key list;
+  full : bool;
+      (* when true, [added] is the origin's complete table and receivers
+         rebuild their filter instead of applying a delta *)
+}
+
+type t =
+  | Group_config of group_config
+  | Group_sync of { lfibs : (Ids.Switch_id.t * host_key list) list }
+  | Lfib_advert of lfib_delta
+  | Member_report of {
+      origin : Ids.Switch_id.t;
+      intensity : (Ids.Switch_id.t * int) list;
+    }
+  | State_report of {
+      group : Ids.Group_id.t;
+      deltas : lfib_delta list;
+      intensity : (Ids.Switch_id.t * Ids.Switch_id.t * int) list;
+    }
+  | Group_arp of { origin : Ids.Switch_id.t; packet : Packet.t }
+  | Arp_broadcast of { packet : Packet.t }
+  | Arp_escalate of { origin : Ids.Switch_id.t; packet : Packet.t }
+  | False_positive of { at : Ids.Switch_id.t; dst : Mac.t }
+  | Keepalive of { from : Ids.Switch_id.t }
+  | Ring_alarm of {
+      observer : Ids.Switch_id.t;
+      missing : Ids.Switch_id.t;
+      direction : [ `Up | `Down ];
+    }
+  | Relay of { origin : Ids.Switch_id.t; boxed : t Message.t }
+
+let host_key_size = 14 (* 6 MAC + 4 IP + 4 tenant/vlan *)
+
+let delta_size (d : lfib_delta) =
+  10 + (host_key_size * (List.length d.added + List.length d.removed))
+
+let rec size_estimate = function
+  | Group_config c -> 32 + (4 * List.length c.members) + (4 * List.length c.backups)
+  | Group_sync { lfibs } ->
+      8
+      + List.fold_left
+          (fun acc (_, keys) -> acc + 6 + (host_key_size * List.length keys))
+          0 lfibs
+  | Lfib_advert d -> delta_size d
+  | Member_report { intensity; _ } -> 10 + (8 * List.length intensity)
+  | State_report { deltas; intensity; _ } ->
+      16
+      + List.fold_left (fun acc d -> acc + delta_size d) 0 deltas
+      + (12 * List.length intensity)
+  | Group_arp { packet; _ } -> 12 + Packet.size_on_wire packet
+  | Arp_broadcast { packet } -> 8 + Packet.size_on_wire packet
+  | Arp_escalate { packet; _ } -> 12 + Packet.size_on_wire packet
+  | False_positive _ -> 16
+  | Keepalive _ -> 10
+  | Ring_alarm _ -> 16
+  | Relay { boxed; _ } -> 8 + Message.size_estimate size_estimate boxed
+
+let rec pp fmt = function
+  | Group_config c ->
+      Format.fprintf fmt "group_config(%a,|members|=%d,designated=%a)"
+        Ids.Group_id.pp c.group (List.length c.members) Ids.Switch_id.pp
+        c.designated
+  | Group_sync { lfibs } -> Format.fprintf fmt "group_sync(|lfibs|=%d)" (List.length lfibs)
+  | Lfib_advert { origin; added; removed; _ } ->
+      Format.fprintf fmt "lfib_advert(%a,+%d,-%d)" Ids.Switch_id.pp origin
+        (List.length added) (List.length removed)
+  | Member_report { origin; intensity } ->
+      Format.fprintf fmt "member_report(%a,|intensity|=%d)" Ids.Switch_id.pp
+        origin (List.length intensity)
+  | State_report { group; deltas; intensity } ->
+      Format.fprintf fmt "state_report(%a,|deltas|=%d,|intensity|=%d)"
+        Ids.Group_id.pp group (List.length deltas) (List.length intensity)
+  | Group_arp { origin; _ } ->
+      Format.fprintf fmt "group_arp(%a)" Ids.Switch_id.pp origin
+  | Arp_broadcast _ -> Format.pp_print_string fmt "arp_broadcast"
+  | Arp_escalate { origin; _ } ->
+      Format.fprintf fmt "arp_escalate(%a)" Ids.Switch_id.pp origin
+  | False_positive { at; dst } ->
+      Format.fprintf fmt "false_positive(%a,%a)" Ids.Switch_id.pp at Mac.pp dst
+  | Keepalive { from } -> Format.fprintf fmt "keepalive(%a)" Ids.Switch_id.pp from
+  | Ring_alarm { observer; missing; direction } ->
+      Format.fprintf fmt "ring_alarm(%a misses %a,%s)" Ids.Switch_id.pp observer
+        Ids.Switch_id.pp missing
+        (match direction with `Up -> "up" | `Down -> "down")
+  | Relay { origin; boxed } ->
+      Format.fprintf fmt "relay(%a,%a)" Ids.Switch_id.pp origin (Message.pp pp) boxed
+
+module Ring = struct
+  let neighbors ~members sw =
+    let sorted = List.sort Ids.Switch_id.compare members in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    if n < 2 then None
+    else
+      let idx = ref (-1) in
+      Array.iteri (fun i s -> if Ids.Switch_id.equal s sw then idx := i) arr;
+      if !idx < 0 then None
+      else
+        let up = arr.((!idx + n - 1) mod n) in
+        let down = arr.((!idx + 1) mod n) in
+        Some (up, down)
+end

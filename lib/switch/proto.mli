@@ -1,0 +1,100 @@
+(** LazyCtrl's OpenFlow protocol extensions.
+
+    These are the payloads carried in {!Lazyctrl_openflow.Message.Extension}
+    over the three channel kinds of §III-B3: control links (controller ↔
+    switch), state links (controller ↔ designated switch) and peer links
+    (switch ↔ switch within a group). *)
+
+open Lazyctrl_net
+open Lazyctrl_sim
+
+type host_key = { mac : Mac.t; ip : Ipv4.t; tenant : Ids.Tenant_id.t }
+(** The identity tuple tracked by L-FIBs and disseminated between
+    switches. *)
+
+val mac_key : Mac.t -> int
+(** Bloom-filter key for a MAC (tagged apart from the IP key space). *)
+
+val ip_key : Ipv4.t -> int
+
+type group_config = {
+  group : Ids.Group_id.t;
+  members : Ids.Switch_id.t list;
+      (** ordered by management MAC — ascending switch id here — which
+          defines the failure-detection wheel *)
+  designated : Ids.Switch_id.t;
+  backups : Ids.Switch_id.t list;
+  sync_period : Time.t;      (** designated → controller state reports *)
+  keepalive_period : Time.t; (** wheel keep-alives *)
+}
+
+type lfib_delta = {
+  origin : Ids.Switch_id.t;
+  added : host_key list;
+  removed : host_key list;
+  full : bool;
+      (* when true, [added] is the origin's complete table and receivers
+         rebuild their filter instead of applying a delta *)
+}
+
+type t =
+  | Group_config of group_config
+      (** controller → every member (control link) *)
+  | Group_sync of { lfibs : (Ids.Switch_id.t * host_key list) list }
+      (** controller → designated after regrouping: the C-LIB rows of the
+          new group, to be re-broadcast so members rebuild their G-FIBs
+          (§III-D3 asynchronous dissemination, case ii) *)
+  | Lfib_advert of lfib_delta
+      (** member → designated on L-FIB change, then designated → peers *)
+  | Member_report of {
+      origin : Ids.Switch_id.t;
+      intensity : (Ids.Switch_id.t * int) list;
+          (** new-flow counts to remote switches since the last report —
+              the statistics that feed SGI *)
+    }
+      (** member → designated, periodic *)
+  | State_report of {
+      group : Ids.Group_id.t;
+      deltas : lfib_delta list;
+      intensity : (Ids.Switch_id.t * Ids.Switch_id.t * int) list;
+    }
+      (** designated → controller (state link), periodic *)
+  | Group_arp of { origin : Ids.Switch_id.t; packet : Packet.t }
+      (** switch → designated: broadcast this ARP inside the group *)
+  | Arp_broadcast of { packet : Packet.t }
+      (** designated → members; also controller → designated when relaying
+          an ARP across groups *)
+  | Arp_escalate of { origin : Ids.Switch_id.t; packet : Packet.t }
+      (** designated → controller: target unknown to the whole group *)
+  | False_positive of { at : Ids.Switch_id.t; dst : Mac.t }
+      (** optional report of a Bloom-filter misdelivery (§III-D4) *)
+  | Keepalive of { from : Ids.Switch_id.t }
+      (** ring-neighbour keep-alive (peer link, both directions) *)
+  | Ring_alarm of {
+      observer : Ids.Switch_id.t;
+      missing : Ids.Switch_id.t;
+      direction : [ `Up | `Down ];
+          (** [`Up]: the lost keep-alive travelled upstream (from [missing]
+              to its ring predecessor [observer]); [`Down]: downstream *)
+    }
+      (** switch → controller: a wheel keep-alive went missing *)
+  | Relay of { origin : Ids.Switch_id.t; boxed : t Lazyctrl_openflow.Message.t }
+      (** a whole control-link message forwarded through a ring neighbour
+          during control-link failover (§III-E2) *)
+
+val size_estimate : t -> int
+(** Approximate wire size for channel accounting. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Ring : sig
+  (** The failure-detection wheel: members ordered by management MAC form
+      a ring; the controller is a spoke to every member. *)
+
+  val neighbors :
+    members:Ids.Switch_id.t list -> Ids.Switch_id.t ->
+    (Ids.Switch_id.t * Ids.Switch_id.t) option
+  (** [neighbors ~members sw] is [(upstream, downstream)] of [sw] on the
+      ring, or [None] when [sw] is not a member or the group has fewer
+      than 2 members. Members are sorted internally. *)
+end

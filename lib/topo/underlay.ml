@@ -1,0 +1,65 @@
+open Lazyctrl_sim
+open Lazyctrl_net
+
+type t = {
+  engine : Engine.t;
+  latency : Time.t;
+  jitter : (unit -> Time.t) option;
+  endpoints : (int, Packet.t -> unit) Hashtbl.t;
+  failed : (int * int, unit) Hashtbl.t;
+  mutable n_delivered : int;
+  mutable n_dropped : int;
+  mutable n_bytes : int;
+}
+
+let create engine ~latency ?jitter () =
+  {
+    engine;
+    latency;
+    jitter;
+    endpoints = Hashtbl.create 64;
+    failed = Hashtbl.create 8;
+    n_delivered = 0;
+    n_dropped = 0;
+    n_bytes = 0;
+  }
+
+let register t ip f = Hashtbl.replace t.endpoints (Ipv4.to_int ip) f
+
+let path_key ~src ~dst = (Ipv4.to_int src, Ipv4.to_int dst)
+
+let fail_path t ~src ~dst = Hashtbl.replace t.failed (path_key ~src ~dst) ()
+let repair_path t ~src ~dst = Hashtbl.remove t.failed (path_key ~src ~dst)
+let path_up t ~src ~dst = not (Hashtbl.mem t.failed (path_key ~src ~dst))
+
+let send t packet =
+  match packet with
+  | Packet.Plain _ ->
+      t.n_dropped <- t.n_dropped + 1;
+      false
+  | Packet.Encap { outer_src; outer_dst; _ } -> (
+      if not (path_up t ~src:outer_src ~dst:outer_dst) then begin
+        t.n_dropped <- t.n_dropped + 1;
+        false
+      end
+      else
+        match Hashtbl.find_opt t.endpoints (Ipv4.to_int outer_dst) with
+        | None ->
+            t.n_dropped <- t.n_dropped + 1;
+            false
+        | Some deliver ->
+            let delay =
+              match t.jitter with
+              | None -> t.latency
+              | Some j -> Time.add t.latency (j ())
+            in
+            t.n_bytes <- t.n_bytes + Packet.size_on_wire packet;
+            ignore
+              (Engine.schedule t.engine ~after:delay (fun () ->
+                   t.n_delivered <- t.n_delivered + 1;
+                   deliver packet));
+            true)
+
+let delivered t = t.n_delivered
+let dropped t = t.n_dropped
+let bytes_carried t = t.n_bytes

@@ -1,0 +1,138 @@
+open Lazyctrl_sim
+open Lazyctrl_net
+open Lazyctrl_graph
+open Lazyctrl_topo
+module Prng = Lazyctrl_util.Prng
+
+let host_graph trace =
+  let b = Wgraph.Builder.create ~n:(Trace.n_hosts trace) in
+  Hashtbl.iter
+    (fun (s, d) count -> Wgraph.Builder.add_edge b s d (Float.of_int count))
+    (Trace.pair_flow_counts trace);
+  Wgraph.Builder.build b
+
+let switch_intensity ?from ?until ?exclude_hosts ~topo trace =
+  let from = Option.value from ~default:Time.zero in
+  let until = Option.value until ~default:(Trace.duration trace) in
+  let excluded h =
+    match exclude_hosts with
+    | None -> false
+    | Some set -> Ids.Host_id.Set.mem h set
+  in
+  let span_s = Time.to_float_sec (Time.diff until from) in
+  let span_s = if span_s <= 0.0 then 1.0 else span_s in
+  let counts = Hashtbl.create 4096 in
+  Trace.iter ~from ~until trace (fun f ->
+      if not (excluded f.Trace.src || excluded f.Trace.dst) then begin
+        let s = Ids.Switch_id.to_int (Topology.location topo f.Trace.src) in
+        let d = Ids.Switch_id.to_int (Topology.location topo f.Trace.dst) in
+        if s <> d then begin
+          let key = if s < d then (s, d) else (d, s) in
+          Hashtbl.replace counts key
+            (1 + Option.value (Hashtbl.find_opt counts key) ~default:0)
+        end
+      end);
+  let b = Wgraph.Builder.create ~n:(Topology.n_switches topo) in
+  Hashtbl.iter
+    (fun (s, d) c -> Wgraph.Builder.add_edge b s d (Float.of_int c /. span_s))
+    counts;
+  Wgraph.Builder.build b
+
+let skew trace ~top_fraction =
+  if top_fraction <= 0.0 || top_fraction > 1.0 then
+    invalid_arg "Analysis.skew: fraction outside (0,1]";
+  let counts =
+    Trace.pair_flow_counts trace |> Hashtbl.to_seq_values |> Array.of_seq
+  in
+  if Array.length counts = 0 then 0.0
+  else begin
+    Array.sort (fun a b -> Int.compare b a) counts;
+    let total = Array.fold_left ( + ) 0 counts in
+    let top = max 1 (int_of_float (Float.of_int (Array.length counts) *. top_fraction)) in
+    let carried = ref 0 in
+    for i = 0 to top - 1 do
+      carried := !carried + counts.(i)
+    done;
+    Float.of_int !carried /. Float.of_int total
+  end
+
+let centrality_per_group trace ~assignment ~k =
+  let intra = Array.make k 0.0 in
+  let touching = Array.make k 0.0 in
+  Trace.iter trace (fun f ->
+      let gs = assignment (Ids.Host_id.to_int f.Trace.src) in
+      let gd = assignment (Ids.Host_id.to_int f.Trace.dst) in
+      if gs = gd then begin
+        intra.(gs) <- intra.(gs) +. 1.0;
+        touching.(gs) <- touching.(gs) +. 1.0
+      end
+      else begin
+        (* An inter-group flow is one unit of traffic shared between the
+           two groups it touches; counting it fully against both would
+           double-count it in the system-wide accounting. *)
+        touching.(gs) <- touching.(gs) +. 0.5;
+        touching.(gd) <- touching.(gd) +. 0.5
+      end);
+  Array.init k (fun g ->
+      if touching.(g) = 0.0 then nan else intra.(g) /. touching.(g))
+
+let avg_centrality ~rng ~k trace =
+  let g = host_graph trace in
+  let total = Wgraph.total_vertex_weight g in
+  (* "Evenly into k groups": a tight cap forces near-equal sizes. *)
+  let cap = max 1 (int_of_float (Float.ceil (1.05 *. Float.of_int total /. Float.of_int k))) in
+  let a = Partition.multilevel_kway ~rng ~max_part_weight:cap ~k g in
+  let per_group = centrality_per_group trace ~assignment:(fun h -> a.(h)) ~k in
+  let sum = ref 0.0 and n = ref 0 in
+  Array.iter
+    (fun c ->
+      if not (Float.is_nan c) then begin
+        sum := !sum +. c;
+        incr n
+      end)
+    per_group;
+  if !n = 0 then nan else !sum /. Float.of_int !n
+
+let high_fanout_hosts trace ~fraction =
+  if fraction <= 0.0 || fraction > 1.0 then
+    invalid_arg "Analysis.high_fanout_hosts: fraction outside (0,1]";
+  let peers : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 1024 in
+  let note a b =
+    let tbl =
+      match Hashtbl.find_opt peers a with
+      | Some t -> t
+      | None ->
+          let t = Hashtbl.create 8 in
+          Hashtbl.replace peers a t;
+          t
+    in
+    Hashtbl.replace tbl b ()
+  in
+  Trace.iter trace (fun f ->
+      let s = Ids.Host_id.to_int f.Trace.src and d = Ids.Host_id.to_int f.Trace.dst in
+      note s d;
+      note d s);
+  let ranked =
+    Hashtbl.fold (fun h tbl acc -> (h, Hashtbl.length tbl) :: acc) peers []
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  let want =
+    max 1 (int_of_float (Float.of_int (List.length ranked) *. fraction))
+  in
+  List.filteri (fun i _ -> i < want) ranked
+  |> List.fold_left
+       (fun acc (h, _) -> Ids.Host_id.Set.add (Ids.Host_id.of_int h) acc)
+       Ids.Host_id.Set.empty
+
+let flows_per_second_peak trace ~bucket =
+  let width = Time.to_float_sec bucket in
+  if width <= 0.0 then invalid_arg "Analysis.flows_per_second_peak: empty bucket";
+  let n_buckets =
+    max 1
+      (1 + (Time.to_ns (Trace.duration trace) / max 1 (Time.to_ns bucket)))
+  in
+  let counts = Array.make n_buckets 0 in
+  Trace.iter trace (fun f ->
+      let i = Time.to_ns f.Trace.time / max 1 (Time.to_ns bucket) in
+      counts.(min i (n_buckets - 1)) <- counts.(min i (n_buckets - 1)) + 1);
+  Float.of_int (Array.fold_left max 0 counts) /. width

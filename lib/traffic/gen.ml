@@ -1,0 +1,228 @@
+open Lazyctrl_sim
+open Lazyctrl_net
+open Lazyctrl_topo
+module Prng = Lazyctrl_util.Prng
+
+let diurnal_profile =
+  [|
+    0.35; 0.30; 0.28; 0.27; 0.28; 0.32; 0.45; 0.62; 0.80; 0.95; 1.00; 0.98;
+    0.92; 0.95; 1.00; 0.97; 0.90; 0.80; 0.72; 0.65; 0.58; 0.50; 0.45; 0.40;
+  |]
+
+(* Sample an absolute time from a per-hour weight profile restricted to
+   [from_hour, until_hour). *)
+let sample_time rng ~profile ~from_hour ~until_hour =
+  let hours = until_hour - from_hour in
+  assert (hours > 0);
+  let weights = Array.init hours (fun i -> profile.((from_hour + i) mod 24)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let u = Prng.float rng total in
+  let rec pick i acc =
+    let acc = acc +. weights.(i) in
+    if u < acc || i = hours - 1 then i else pick (i + 1) acc
+  in
+  let h = from_hour + pick 0 0.0 in
+  Time.add (Time.of_hour h) (Time.of_ns (Prng.int rng (Time.to_ns (Time.of_hour 1))))
+
+let sample_flow_size rng =
+  (* Pareto-distributed flow sizes: mostly mice, occasional elephants
+     (mean ≈ 38 KB ≈ 26 packets, matching data-center flow-size
+     surveys [15]). *)
+  let bytes = int_of_float (Prng.pareto rng ~shape:1.15 ~scale:5000.0) in
+  let bytes = min bytes 100_000_000 in
+  let packets = max 1 ((bytes + 1459) / 1460) in
+  (bytes, packets)
+
+(* All intra-tenant unordered pairs of a topology, materialized per tenant
+   as host arrays (pairs themselves are sampled by index arithmetic). *)
+let tenant_host_arrays topo =
+  Topology.tenants topo
+  |> List.map (fun ten -> Array.of_list (Topology.tenant_hosts topo ten))
+  |> List.filter (fun a -> Array.length a >= 2)
+  |> Array.of_list
+
+let n_pairs a =
+  let s = Array.length a in
+  s * (s - 1) / 2
+
+let sample_intra_pair rng tenants_arr cum total =
+  (* Pick a tenant weighted by its pair count, then two distinct hosts. *)
+  let u = Prng.int rng total in
+  let lo = ref 0 and hi = ref (Array.length cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) <= u then lo := mid + 1 else hi := mid
+  done;
+  let hosts = tenants_arr.(!lo) in
+  let n = Array.length hosts in
+  let i = Prng.int rng n in
+  let j = (i + 1 + Prng.int rng (n - 1)) mod n in
+  (hosts.(i), hosts.(j))
+
+let all_hosts_array topo = Array.of_list (Topology.hosts topo)
+
+let sample_any_pair rng hosts =
+  let n = Array.length hosts in
+  let i = Prng.int rng n in
+  let j = (i + 1 + Prng.int rng (n - 1)) mod n in
+  (hosts.(i), hosts.(j))
+
+let real_like ~rng ~topo ~n_flows ?(duration = Time.of_hour 24)
+    ?(active_pair_fraction = 0.07) ?(zipf_alpha = 1.45)
+    ?(cross_tenant_fraction = 0.08) ?(churn = 0.35) () =
+  if n_flows <= 0 then invalid_arg "Gen.real_like: n_flows <= 0";
+  let tenants_arr = tenant_host_arrays topo in
+  if Array.length tenants_arr = 0 then
+    invalid_arg "Gen.real_like: no tenant with at least two hosts";
+  (* Materialize the active pair set: a fraction of each tenant's pairs. *)
+  let active = ref [] in
+  Array.iter
+    (fun hosts ->
+      let m = n_pairs hosts in
+      let want = max 1 (int_of_float (Float.of_int m *. active_pair_fraction)) in
+      let seen = Hashtbl.create (2 * want) in
+      let n = Array.length hosts in
+      while Hashtbl.length seen < want do
+        let i = Prng.int rng n in
+        let j = (i + 1 + Prng.int rng (n - 1)) mod n in
+        let key = if i < j then (i, j) else (j, i) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          active := (hosts.(i), hosts.(j)) :: !active
+        end
+      done)
+    tenants_arr;
+  let active = Array.of_list !active in
+  (* Heavier-ranked pairs carry most flows: shuffle then Zipf over ranks. *)
+  Prng.shuffle rng active;
+  let zipf = Prng.Zipf.create ~n:(Array.length active) ~alpha:zipf_alpha in
+  let hosts = all_hosts_array topo in
+  let hours = Time.to_ns duration / Time.to_ns (Time.of_hour 1) in
+  let until_hour = max 1 (min 24 hours) in
+  (* Traffic churn: a fraction of pairs is only active inside a private
+     time window, so the hour-to-hour intensity matrix drifts (what makes
+     the paper's incremental regrouping worthwhile). *)
+  let windows =
+    Array.init (Array.length active) (fun _ ->
+        if Prng.float rng 1.0 < churn && until_hour > 4 then begin
+          let start = Prng.int rng (until_hour - 3) in
+          Some (start, min until_hour (start + 4))
+        end
+        else None)
+  in
+  let builder = Trace.Builder.create ~n_hosts:(Topology.n_hosts topo) ~duration in
+  for _ = 1 to n_flows do
+    let (a : Host.t), (b : Host.t), window =
+      if Prng.float rng 1.0 < cross_tenant_fraction then begin
+        (* Cross-tenant noise: any pair from different tenants. *)
+        let rec pick () =
+          let x, y = sample_any_pair rng hosts in
+          if Ids.Tenant_id.equal x.Host.tenant y.Host.tenant then pick () else (x, y)
+        in
+        let x, y = pick () in
+        (x, y, None)
+      end
+      else begin
+        let idx = Prng.Zipf.draw zipf rng in
+        let x, y = active.(idx) in
+        (x, y, windows.(idx))
+      end
+    in
+    let src, dst = if Prng.bool rng then (a, b) else (b, a) in
+    let from_hour, until_hour =
+      match window with None -> (0, until_hour) | Some (lo, hi) -> (lo, hi)
+    in
+    let time = sample_time rng ~profile:diurnal_profile ~from_hour ~until_hour in
+    let bytes, packets = sample_flow_size rng in
+    Trace.Builder.add builder ~time ~src:src.Host.id ~dst:dst.Host.id ~bytes ~packets
+  done;
+  Trace.Builder.build builder
+
+let synthetic ~rng ~topo ~base ~n_flows ~p ~q =
+  if p < 1 || p > 100 || q < 1 || q > 100 then
+    invalid_arg "Gen.synthetic: p and q must be percentages";
+  let tenants_arr = tenant_host_arrays topo in
+  let pair_counts = Array.map n_pairs tenants_arr in
+  let cum = Array.make (Array.length pair_counts) 0 in
+  let total_intra = ref 0 in
+  Array.iteri
+    (fun i c ->
+      total_intra := !total_intra + c;
+      cum.(i) <- !total_intra)
+    pair_counts;
+  if !total_intra = 0 then invalid_arg "Gen.synthetic: no intra-tenant pairs";
+  let hosts = all_hosts_array topo in
+  (* Hot set: q% of the intra-tenant pair universe. As q grows the set is
+     sampled with less tenant locality, spreading the hot traffic (this is
+     what moves average centrality from Syn-A down to Syn-C). *)
+  let n_hot = max 1 (!total_intra * q / 100) in
+  let locality = Float.max 0.0 (1.0 -. (Float.of_int q /. 100.0 *. 0.6)) in
+  let hot =
+    Array.init n_hot (fun _ ->
+        if Prng.float rng 1.0 < locality then
+          sample_intra_pair rng tenants_arr cum !total_intra
+        else sample_any_pair rng hosts)
+  in
+  let duration = Trace.duration base in
+  let builder = Trace.Builder.create ~n_hosts:(Topology.n_hosts topo) ~duration in
+  let base_flows = Trace.n_flows base in
+  for _ = 1 to n_flows do
+    let (a : Host.t), b =
+      if Prng.int rng 100 < p then hot.(Prng.int rng n_hot)
+      else sample_any_pair rng hosts
+    in
+    let src, dst = if Prng.bool rng then (a, b) else (b, a) in
+    (* Payload and temporal pattern resampled from the base trace. *)
+    let sample = Trace.flow base (Prng.int rng base_flows) in
+    let time = sample.Trace.time in
+    Trace.Builder.add builder ~time ~src:src.Host.id ~dst:dst.Host.id
+      ~bytes:sample.Trace.bytes ~packets:sample.Trace.packets
+  done;
+  Trace.Builder.build builder
+
+let expand ~rng ~topo ~extra_fraction ~from_hour ~until_hour trace =
+  if extra_fraction < 0.0 then invalid_arg "Gen.expand: negative fraction";
+  if from_hour < 0 || until_hour <= from_hour then
+    invalid_arg "Gen.expand: bad hour window";
+  let existing = Trace.pair_flow_counts trace in
+  let hosts = all_hosts_array topo in
+  let n_extra =
+    int_of_float (Float.of_int (Trace.n_flows trace) *. extra_fraction)
+  in
+  let duration =
+    Time.max (Trace.duration trace) (Time.of_hour until_hour)
+  in
+  let builder = Trace.Builder.create ~n_hosts:(Trace.n_hosts trace) ~duration in
+  Trace.iter trace (fun f ->
+      Trace.Builder.add builder ~time:f.Trace.time ~src:f.Trace.src
+        ~dst:f.Trace.dst ~bytes:f.Trace.bytes ~packets:f.Trace.packets);
+  let fresh_pair () =
+    let rec pick tries =
+      let (a : Host.t), (b : Host.t) = sample_any_pair rng hosts in
+      let ai = Ids.Host_id.to_int a.Host.id and bi = Ids.Host_id.to_int b.Host.id in
+      let key = if ai < bi then (ai, bi) else (bi, ai) in
+      if Hashtbl.mem existing key && tries < 1000 then pick (tries + 1) else (a, b)
+    in
+    pick 0
+  in
+  (* The extra flows run over a bounded set of persistent fresh pairs,
+     each switching on at a random onset hour and staying active — a
+     drift the grouping daemon can actually adapt to, rather than
+     unstructured one-shot noise. *)
+  let n_new_pairs =
+    max 1 (min (Hashtbl.length existing * 3 / 10) (max 1 (n_extra / 8)))
+  in
+  let fresh =
+    Array.init n_new_pairs (fun _ ->
+        let pair = fresh_pair () in
+        let onset = Prng.int_in rng from_hour (max from_hour (until_hour - 2)) in
+        (pair, onset))
+  in
+  for _ = 1 to n_extra do
+    let (a, b), onset = fresh.(Prng.int rng n_new_pairs) in
+    let src, dst = if Prng.bool rng then (a, b) else (b, a) in
+    let time = sample_time rng ~profile:diurnal_profile ~from_hour:onset ~until_hour in
+    let bytes, packets = sample_flow_size rng in
+    Trace.Builder.add builder ~time ~src:src.Host.id ~dst:dst.Host.id ~bytes ~packets
+  done;
+  Trace.Builder.build builder

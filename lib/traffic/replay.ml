@@ -1,0 +1,37 @@
+open Lazyctrl_sim
+
+type t = {
+  engine : Engine.t;
+  trace : Trace.t;
+  chunk : int;
+  on_flow : Trace.flow -> unit;
+  mutable next : int;
+  mutable injected : int;
+}
+
+let rec schedule_chunk t =
+  let n = Trace.n_flows t.trace in
+  let stop = min n (t.next + t.chunk) in
+  for i = t.next to stop - 1 do
+    let f = Trace.flow t.trace i in
+    ignore
+      (Engine.schedule_at t.engine ~at:f.Trace.time (fun () ->
+           t.injected <- t.injected + 1;
+           t.on_flow f))
+  done;
+  t.next <- stop;
+  if stop < n then begin
+    (* Refill when the last flow of this chunk fires. *)
+    let last = Trace.flow t.trace (stop - 1) in
+    ignore (Engine.schedule_at t.engine ~at:last.Trace.time (fun () -> schedule_chunk t))
+  end
+
+let start engine ?(chunk = 8192) ~on_flow trace =
+  if chunk <= 0 then invalid_arg "Replay.start: chunk <= 0";
+  let t = { engine; trace; chunk; on_flow; next = 0; injected = 0 } in
+  if Trace.n_flows trace > 0 then schedule_chunk t;
+  t
+
+let injected t = t.injected
+
+let finished t = t.next >= Trace.n_flows t.trace && t.injected >= t.next

@@ -1,0 +1,25 @@
+(** Trace replay into the discrete-event engine (the prototype's
+    "custom-made trace re-player").
+
+    Flows are injected as flow-arrival events at their trace timestamps.
+    Scheduling is chunked so the event queue never holds more than a
+    window of upcoming flows. *)
+
+open Lazyctrl_sim
+
+type t
+
+val start :
+  Engine.t ->
+  ?chunk:int ->
+  on_flow:(Trace.flow -> unit) ->
+  Trace.t ->
+  t
+(** Begin replay at the engine's current time origin; flow timestamps are
+    absolute engine times. [chunk] (default 8192) bounds how many flow
+    events are resident in the queue. *)
+
+val injected : t -> int
+(** Flows injected so far. *)
+
+val finished : t -> bool

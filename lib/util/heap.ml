@@ -1,0 +1,166 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t x =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let ndata = Array.make ncap x in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t x =
+  grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear t = t.size <- 0
+
+let to_sorted_list t =
+  let copy = { t with data = Array.sub t.data 0 t.size } in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []
+
+module Indexed = struct
+  type t = {
+    mutable heap : int array; (* heap position -> key *)
+    pos : int array;          (* key -> heap position, -1 if absent *)
+    prio : float array;
+    mutable size : int;
+  }
+
+  let create n = { heap = Array.make (max n 1) 0; pos = Array.make (max n 1) (-1); prio = Array.make (max n 1) 0.0; size = 0 }
+
+  let mem t k = t.pos.(k) >= 0
+
+  let cardinal t = t.size
+
+  let swap t i j =
+    let ki = t.heap.(i) and kj = t.heap.(j) in
+    t.heap.(i) <- kj;
+    t.heap.(j) <- ki;
+    t.pos.(kj) <- i;
+    t.pos.(ki) <- j
+
+  (* Max-heap ordering on priorities; ties broken by smaller key for
+     determinism. *)
+  let before t i j =
+    let ki = t.heap.(i) and kj = t.heap.(j) in
+    let c = compare t.prio.(kj) t.prio.(ki) in
+    if c <> 0 then c < 0 else ki < kj
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before t i parent then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let best = ref i in
+    if l < t.size && before t l !best then best := l;
+    if r < t.size && before t r !best then best := r;
+    if !best <> i then begin
+      swap t i !best;
+      sift_down t !best
+    end
+
+  let insert t k p =
+    if mem t k then invalid_arg "Heap.Indexed.insert: key already present";
+    t.heap.(t.size) <- k;
+    t.pos.(k) <- t.size;
+    t.prio.(k) <- p;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let priority t k = if mem t k then t.prio.(k) else raise Not_found
+
+  let adjust t k p =
+    if not (mem t k) then insert t k p
+    else begin
+      let old = t.prio.(k) in
+      t.prio.(k) <- p;
+      if p > old then sift_up t t.pos.(k) else sift_down t t.pos.(k)
+    end
+
+  let remove_at t i =
+    let k = t.heap.(i) in
+    t.size <- t.size - 1;
+    t.pos.(k) <- -1;
+    if i < t.size then begin
+      let last = t.heap.(t.size) in
+      t.heap.(i) <- last;
+      t.pos.(last) <- i;
+      sift_up t i;
+      sift_down t i
+    end
+
+  let pop_max t =
+    if t.size = 0 then None
+    else begin
+      let k = t.heap.(0) in
+      let p = t.prio.(k) in
+      remove_at t 0;
+      Some (k, p)
+    end
+
+  let remove t k = if mem t k then remove_at t t.pos.(k)
+end

@@ -1,0 +1,56 @@
+(** Binary min-heaps.
+
+    Two flavours are provided: a plain polymorphic min-heap used by the
+    discrete-event scheduler, and an indexed priority queue with
+    decrease-key used by graph algorithms (Stoer–Wagner, refinement). *)
+
+type 'a t
+(** Min-heap over elements of type ['a] with an explicit comparison. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: elements in ascending order. O(n log n). *)
+
+module Indexed : sig
+  (** Max-priority queue over integer keys [0..n-1] with float priorities
+      and O(log n) [increase]/[remove]. Keys may be absent. *)
+
+  type t
+
+  val create : int -> t
+  (** [create n] supports keys [0..n-1], initially all absent. *)
+
+  val mem : t -> int -> bool
+  val cardinal : t -> int
+
+  val insert : t -> int -> float -> unit
+  (** @raise Invalid_argument if the key is already present. *)
+
+  val priority : t -> int -> float
+  (** @raise Not_found if absent. *)
+
+  val adjust : t -> int -> float -> unit
+  (** [adjust t k p] sets key [k]'s priority to [p] (up or down),
+      inserting it if absent. *)
+
+  val pop_max : t -> (int * float) option
+  (** Remove and return the key with the largest priority. *)
+
+  val remove : t -> int -> unit
+  (** Remove a key if present; no-op otherwise. *)
+end

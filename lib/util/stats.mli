@@ -1,0 +1,89 @@
+(** Online and batch statistics used by the measurement layer. *)
+
+module Online : sig
+  (** Streaming mean/variance via Welford's algorithm, with min/max. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; 0 with fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [nan] when empty. *)
+
+  val max : t -> float
+  (** [nan] when empty. *)
+
+  val merge : t -> t -> t
+  (** Combine two summaries as if their streams were concatenated. *)
+end
+
+module Reservoir : sig
+  (** Fixed-size uniform reservoir sample; supports percentile queries over
+      unbounded streams with bounded memory. *)
+
+  type t
+
+  val create : ?capacity:int -> Prng.t -> t
+  (** Default capacity 4096. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile t 0.99] — linear interpolation between order statistics of
+      the retained sample. [nan] when empty. Argument in [\[0,1\]]. *)
+
+  val mean : t -> float
+end
+
+module Histogram : sig
+  (** Fixed-width linear histogram with overflow bucket. *)
+
+  type t
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val bucket_counts : t -> int array
+  (** [buckets + 2] entries: underflow, the buckets, overflow. *)
+
+  val bucket_bounds : t -> (float * float) array
+end
+
+module Timeseries : sig
+  (** Accumulates per-bucket event counts and value sums over a time axis —
+      used for the paper's per-2-hour workload and latency series. *)
+
+  type t
+
+  val create : bucket_width:float -> n_buckets:int -> t
+  val record : t -> time:float -> float -> unit
+  (** Adds a value at [time]; out-of-range times are clamped to the first or
+      last bucket. *)
+
+  val record_n : t -> time:float -> n:int -> float -> unit
+  (** Adds [n] identical observations at once (bulk accounting for
+      packets that are not individually simulated). *)
+
+  val counts : t -> int array
+  val sums : t -> float array
+  val means : t -> float array
+  (** Per-bucket mean value; [nan] for empty buckets. *)
+
+  val rates : t -> float array
+  (** Per-bucket event count divided by bucket width (events per time
+      unit). *)
+
+  val label : t -> int -> string
+  (** ["lo-hi"] label of a bucket on the time axis, for table rows. *)
+end
+
+val percentile_of_sorted : float array -> float -> float
+(** [percentile_of_sorted a p] with [a] ascending; linear interpolation. *)

@@ -1,0 +1,42 @@
+type t = {
+  headers : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let pad_to n row =
+  let len = List.length row in
+  if len >= n then row else row @ List.init (n - len) (fun _ -> "")
+
+let render t =
+  let ncols = List.length t.headers in
+  let rows = List.rev_map (pad_to ncols) t.rows in
+  let all = t.headers :: rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let render_row row =
+    row
+    |> List.mapi (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell)
+    |> String.concat " | "
+  in
+  let rule =
+    Array.to_list widths |> List.map (fun w -> String.make w '-') |> String.concat "-+-"
+  in
+  String.concat "\n" (render_row t.headers :: rule :: List.map render_row rows)
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_float ?(decimals = 2) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" decimals v
+
+let cell_int = string_of_int

@@ -1,0 +1,21 @@
+(** Plain-text aligned tables for experiment output. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells. *)
+
+val render : t -> string
+(** Aligned, pipe-separated rendering with a header rule. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point formatting with [nan] rendered as ["-"]. Default 2
+    decimals. *)
+
+val cell_int : int -> string

@@ -1,0 +1,76 @@
+(* Smoke tests for the experiment harness: every table builder must
+   produce a well-formed table on miniature workloads, so regressions in
+   the bench targets are caught by `dune runtest` rather than by a broken
+   paper-reproduction run. *)
+
+module E = Lazyctrl_experiments
+module Table = Lazyctrl_util.Table
+
+let check = Alcotest.check
+
+let lines tbl = List.length (String.split_on_char '\n' (Table.render tbl))
+
+let test_storage () =
+  let r = E.Storage_exp.run ~group_size:10 ~hosts_per_switch:16 ~probes:10_000 () in
+  (* 128 bits/entry x 2 keys x 16 hosts = 512 bytes per peer filter. *)
+  check Alcotest.int "bytes follow the geometry" (9 * 512) r.E.Storage_exp.gfib_bytes;
+  check Alcotest.bool "fp rate tiny" true (r.E.Storage_exp.measured_fp < 0.001);
+  check Alcotest.bool "renders" true (lines (E.Storage_exp.table ()) >= 7)
+
+let test_failover_tables () =
+  (* 8 inference rows + header + rule. *)
+  check Alcotest.int "inference table" 10 (lines (E.Failover_exp.inference_table ()));
+  let tbl = E.Failover_exp.endtoend_table () in
+  let rendered = Table.render tbl in
+  check Alcotest.int "four scenarios" 6 (lines tbl);
+  check Alcotest.bool "all handled" true
+    (not
+       (List.exists
+          (fun line ->
+            String.length line > 0
+            && String.length line >= 11
+            && String.sub line (String.length line - 11) 11 = "NOT handled")
+          (String.split_on_char '\n' rendered)))
+
+let test_negotiation_table () =
+  check Alcotest.int "four profiles" 6 (lines (E.Ablation.negotiation_table ()))
+
+let test_grouping_tables () =
+  (* Tiny synthetic workloads keep this a smoke test, not a benchmark. *)
+  let t2 = E.Grouping_exp.table2 ~seed:3 ~n_flows_real:8_000 ~n_flows_syn:8_000 () in
+  check Alcotest.int "table2 rows" 6 (lines t2);
+  let f6a =
+    E.Grouping_exp.fig6a ~seed:3 ~n_flows_syn:8_000 ~group_counts:[ 5; 20 ] ()
+  in
+  check Alcotest.int "fig6a rows" 4 (lines f6a);
+  let f6b = E.Grouping_exp.fig6b ~seed:3 ~n_flows_syn:8_000 ~limits:[ 200 ] () in
+  check Alcotest.int "fig6b rows" 3 (lines f6b)
+
+let test_exclusion_table () =
+  let tbl =
+    E.Ablation.exclusion_table ~seed:3 ~n_flows:10_000 ~fractions:[ 0.0; 0.02 ] ()
+  in
+  check Alcotest.int "two fractions" 4 (lines tbl)
+
+let test_coldcache_ordering () =
+  (* The §V-E ordering is the paper's core latency claim. *)
+  let r = E.Coldcache.run ~seed:5 () in
+  check Alcotest.bool "intra < inter" true
+    (r.E.Coldcache.lazy_intra_ms < r.E.Coldcache.lazy_inter_ms);
+  check Alcotest.bool "inter < openflow" true
+    (r.E.Coldcache.lazy_inter_ms < r.E.Coldcache.openflow_ms);
+  check Alcotest.bool "intra is sub-millisecond" true (r.E.Coldcache.lazy_intra_ms < 1.0)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "storage" `Quick test_storage;
+          Alcotest.test_case "failover tables" `Quick test_failover_tables;
+          Alcotest.test_case "negotiation" `Quick test_negotiation_table;
+          Alcotest.test_case "grouping tables" `Slow test_grouping_tables;
+          Alcotest.test_case "host exclusion" `Slow test_exclusion_table;
+          Alcotest.test_case "cold-cache ordering" `Slow test_coldcache_ordering;
+        ] );
+    ]

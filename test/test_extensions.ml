@@ -1,0 +1,254 @@
+(* Tests for the Appendix B/C extension features: seamless-update rule
+   preloading, batched/parallel IncUpdate, host exclusion, and the
+   operator-forced regroup. *)
+
+open Lazyctrl_net
+open Lazyctrl_sim
+open Lazyctrl_graph
+open Lazyctrl_grouping
+open Lazyctrl_openflow
+open Lazyctrl_switch
+open Lazyctrl_controller
+module Prng = Lazyctrl_util.Prng
+
+let check = Alcotest.check
+let sid = Ids.Switch_id.of_int
+let hid = Ids.Host_id.of_int
+let host i = Host.make ~id:(hid i) ~tenant:(Ids.Tenant_id.of_int 0)
+let key_of (h : Host.t) : Proto.host_key = { mac = h.mac; ip = h.ip; tenant = h.tenant }
+
+(* --- batched IncUpdate ------------------------------------------------------- *)
+
+let community_graph ~communities ~size ~internal ~external_w =
+  let n = communities * size in
+  let edges = ref [] in
+  for c = 0 to communities - 1 do
+    let base = c * size in
+    for i = 0 to size - 1 do
+      for j = i + 1 to size - 1 do
+        edges := (base + i, base + j, internal) :: !edges
+      done
+    done;
+    if c > 0 then edges := (base, base - size, external_w) :: !edges
+  done;
+  Wgraph.of_edges ~n !edges
+
+(* Four communities, pairwise scrambled: two disjoint bad pairs that a
+   single batch round can repair simultaneously. *)
+let scrambled_four () =
+  let g = community_graph ~communities:4 ~size:4 ~internal:10.0 ~external_w:0.1 in
+  let bad =
+    Grouping.of_assignment
+      [| 0; 0; 1; 1; 1; 1; 0; 0; 2; 2; 3; 3; 3; 3; 2; 2 |]
+  in
+  (g, bad)
+
+let test_batch_improves_both_pairs () =
+  let g, bad = scrambled_four () in
+  let before = Grouping.inter_group_intensity g bad in
+  match Sgi.inc_update_batch ~rng:(Prng.create 3) ~limit:4 ~intensity:g bad with
+  | None -> Alcotest.fail "expected improvement"
+  | Some better ->
+      let after = Grouping.inter_group_intensity g better in
+      check Alcotest.bool "cut reduced" true (after < before);
+      check Alcotest.bool "limit kept" true (Grouping.max_group_size better <= 4);
+      (* A single sequential inc_update can only fix one pair; the batch
+         must beat it. *)
+      (match Sgi.inc_update ~rng:(Prng.create 3) ~limit:4 ~intensity:g bad with
+      | Some single ->
+          check Alcotest.bool "batch at least as good as one step" true
+            (after <= Grouping.inter_group_intensity g single +. 1e-9)
+      | None -> Alcotest.fail "sequential step should also improve")
+
+let test_batch_deterministic_across_domains () =
+  let g, bad = scrambled_four () in
+  let run domains =
+    match
+      Sgi.inc_update_batch ~rng:(Prng.create 5) ~limit:4 ~domains ~intensity:g bad
+    with
+    | Some g' -> Grouping.assignment g'
+    | None -> [||]
+  in
+  check Alcotest.bool "1 domain = 3 domains" true (run 1 = run 3)
+
+let test_batch_none_at_optimum () =
+  let g = community_graph ~communities:2 ~size:4 ~internal:10.0 ~external_w:0.1 in
+  let good = Grouping.of_assignment [| 0; 0; 0; 0; 1; 1; 1; 1 |] in
+  check Alcotest.bool "stable at optimum" true
+    (Sgi.inc_update_batch ~rng:(Prng.create 7) ~limit:4 ~intensity:g good = None)
+
+(* --- host exclusion ------------------------------------------------------------ *)
+
+let test_high_fanout_hosts () =
+  let b =
+    Lazyctrl_traffic.Trace.Builder.create ~n_hosts:10 ~duration:(Time.of_sec 100)
+  in
+  (* Host 0 talks to everyone; hosts 1-5 each talk only to host 0 plus one
+     peer. *)
+  for i = 1 to 9 do
+    Lazyctrl_traffic.Trace.Builder.add b ~time:(Time.of_sec i) ~src:(hid 0)
+      ~dst:(hid i) ~bytes:1 ~packets:1
+  done;
+  Lazyctrl_traffic.Trace.Builder.add b ~time:(Time.of_sec 50) ~src:(hid 1)
+    ~dst:(hid 2) ~bytes:1 ~packets:1;
+  let trace = Lazyctrl_traffic.Trace.Builder.build b in
+  let top = Lazyctrl_traffic.Analysis.high_fanout_hosts trace ~fraction:0.1 in
+  check Alcotest.bool "host 0 is the hub" true (Ids.Host_id.Set.mem (hid 0) top);
+  check Alcotest.int "only one host" 1 (Ids.Host_id.Set.cardinal top)
+
+let test_exclusion_improves_grouping () =
+  (* Two tenants on separate switch pairs, plus one hub host whose traffic
+     sprays across all switches; excluding it leaves a clean 2-cut. *)
+  let topo = Lazyctrl_topo.Topology.create ~n_switches:4 in
+  let place i at =
+    Lazyctrl_topo.Topology.add_host topo (host i) ~at:(sid at)
+  in
+  place 0 0; place 1 1; place 2 2; place 3 3; place 9 0;
+  let b =
+    Lazyctrl_traffic.Trace.Builder.create ~n_hosts:10 ~duration:(Time.of_sec 1000)
+  in
+  let add s d =
+    Lazyctrl_traffic.Trace.Builder.add b ~time:(Time.of_sec 1) ~src:(hid s)
+      ~dst:(hid d) ~bytes:1 ~packets:1
+  in
+  for _ = 1 to 50 do add 0 1 done;
+  for _ = 1 to 50 do add 2 3 done;
+  (* the hub host 9 sprays to everyone *)
+  for _ = 1 to 20 do add 9 2; add 9 3; add 9 1 done;
+  let trace = Lazyctrl_traffic.Trace.Builder.build b in
+  let winter exclude_hosts =
+    let g =
+      Lazyctrl_traffic.Analysis.switch_intensity ?exclude_hosts ~topo trace
+    in
+    let grouping = Sgi.ini_group ~rng:(Prng.create 1) ~limit:2 g in
+    Grouping.normalized_inter g grouping
+  in
+  let plain = winter None in
+  let excluded =
+    winter (Some (Ids.Host_id.Set.singleton (hid 9)))
+  in
+  check Alcotest.bool "exclusion removes the distortion" true (excluded < plain);
+  check (Alcotest.float 1e-9) "clean cut after exclusion" 0.0 excluded
+
+(* --- preload on regroup ---------------------------------------------------------- *)
+
+let make_controller ~preload =
+  let engine = Engine.create () in
+  let sent = ref [] in
+  let env =
+    {
+      Controller.engine;
+      send_switch = (fun sw m -> sent := (sw, m) :: !sent);
+      reboot_switch = (fun _ -> ());
+      request_relay = (fun _ ~via:_ -> ());
+      rng = Prng.create 9;
+    }
+  in
+  let config =
+    {
+      Controller.default_config with
+      Controller.group_size_limit = 3;
+      preload_on_regroup = preload;
+    }
+  in
+  (Controller.create env config ~n_switches:6, sent, engine)
+
+let feed_hosts c =
+  (* Switch i hosts host i, for i in 0..5. *)
+  Controller.handle_message c ~from:(sid 0)
+    (Message.Extension
+       (Proto.State_report
+          {
+            group = Ids.Group_id.of_int 0;
+            deltas =
+              List.init 6 (fun i ->
+                  { Proto.origin = sid i; added = [ key_of (host i) ]; removed = []; full = false });
+            intensity = [];
+          }))
+
+let reshape c =
+  (* Feed an intensity matrix that contradicts the current grouping, then
+     force a full regroup. *)
+  Controller.handle_message c ~from:(sid 0)
+    (Message.Extension
+       (Proto.State_report
+          {
+            group = Ids.Group_id.of_int 0;
+            deltas = [];
+            intensity =
+              [ (sid 0, sid 3, 1000); (sid 1, sid 4, 1000); (sid 2, sid 5, 1000) ];
+          }));
+  Controller.force_regroup c
+
+let count_preloads sent =
+  List.length
+    (List.filter
+       (function
+         | _, Message.Flow_mod (Message.Add e) -> e.Flow_table.cookie = 4
+         | _ -> false)
+       !sent)
+
+let test_preload_rules_on_regroup () =
+  let c, sent, _ = make_controller ~preload:true in
+  Controller.bootstrap c
+    ~intensity:
+      (Wgraph.of_edges ~n:6 [ (0, 1, 10.0); (0, 2, 10.0); (3, 4, 10.0); (3, 5, 10.0) ]);
+  feed_hosts c;
+  sent := [];
+  reshape c;
+  let stats = Controller.stats c in
+  check Alcotest.int "full regroup happened" 1 stats.Controller.full_regroups;
+  check Alcotest.bool "preload rules installed" true (count_preloads sent > 0);
+  check Alcotest.int "stats agree" (count_preloads sent) stats.Controller.preloaded_rules;
+  (* Preloaded rules are temporary (hard timeout) encaps to the departing
+     peer's switch. *)
+  List.iter
+    (function
+      | _, Message.Flow_mod (Message.Add e) when e.Flow_table.cookie = 4 -> (
+          check Alcotest.bool "hard timeout set" true (e.Flow_table.hard_timeout <> None);
+          match e.Flow_table.actions with
+          | [ Action.Encap _ ] -> ()
+          | _ -> Alcotest.fail "preload must encapsulate")
+      | _ -> ())
+    !sent
+
+let test_preload_disabled () =
+  let c, sent, _ = make_controller ~preload:false in
+  Controller.bootstrap c
+    ~intensity:
+      (Wgraph.of_edges ~n:6 [ (0, 1, 10.0); (0, 2, 10.0); (3, 4, 10.0); (3, 5, 10.0) ]);
+  feed_hosts c;
+  sent := [];
+  reshape c;
+  check Alcotest.int "no preloads when disabled" 0 (count_preloads sent);
+  check Alcotest.int "stats agree" 0 (Controller.stats c).Controller.preloaded_rules
+
+let test_force_regroup_counts () =
+  let c, _, _ = make_controller ~preload:true in
+  Controller.bootstrap c ~intensity:(Wgraph.of_edges ~n:6 [ (0, 1, 1.0) ]);
+  Controller.force_regroup c;
+  check Alcotest.int "counted" 1 (Controller.stats c).Controller.full_regroups
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "batch inc_update",
+        [
+          Alcotest.test_case "improves both pairs" `Quick test_batch_improves_both_pairs;
+          Alcotest.test_case "deterministic across domains" `Quick
+            test_batch_deterministic_across_domains;
+          Alcotest.test_case "stable at optimum" `Quick test_batch_none_at_optimum;
+        ] );
+      ( "host exclusion",
+        [
+          Alcotest.test_case "high-fanout ranking" `Quick test_high_fanout_hosts;
+          Alcotest.test_case "exclusion improves grouping" `Quick
+            test_exclusion_improves_grouping;
+        ] );
+      ( "preload",
+        [
+          Alcotest.test_case "rules on regroup" `Quick test_preload_rules_on_regroup;
+          Alcotest.test_case "disabled" `Quick test_preload_disabled;
+          Alcotest.test_case "force regroup" `Quick test_force_regroup_counts;
+        ] );
+    ]

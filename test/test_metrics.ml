@@ -1,0 +1,77 @@
+(* Tests for lazyctrl.metrics: the evaluation-series recorder. *)
+
+open Lazyctrl_sim
+open Lazyctrl_metrics
+module Stats = Lazyctrl_util.Stats
+
+let check = Alcotest.check
+
+let make () =
+  let e = Engine.create () in
+  (e, Recorder.create e ~horizon:(Time.of_hour 24) ())
+
+let at e t f = ignore (Engine.schedule_at e ~at:t (fun () -> f ()))
+
+let test_workload_bucketing () =
+  let e, r = make () in
+  (* Three requests in hour 1, one in hour 23. *)
+  at e (Time.of_hour 1) (fun () ->
+      Recorder.on_controller_request r;
+      Recorder.on_controller_request r;
+      Recorder.on_controller_request r);
+  at e (Time.of_hour 23) (fun () -> Recorder.on_controller_request r);
+  Engine.run e;
+  check Alcotest.int "total" 4 (Recorder.total_requests r);
+  let rates = Recorder.workload_rps r in
+  check Alcotest.int "12 two-hour buckets" 12 (Array.length rates);
+  check (Alcotest.float 1e-9) "bucket 0 rate" (3.0 /. 7200.0) rates.(0);
+  check (Alcotest.float 1e-9) "bucket 11 rate" (1.0 /. 7200.0) rates.(11);
+  check (Alcotest.float 1e-9) "quiet bucket" 0.0 rates.(5);
+  check Alcotest.string "label" "0-2" (Recorder.bucket_label r 0);
+  check Alcotest.string "late label" "22-24" (Recorder.bucket_label r 11)
+
+let test_latency_series () =
+  let e, r = make () in
+  at e (Time.of_hour 1) (fun () ->
+      Recorder.record_first_packet_latency r (Time.of_ms 10);
+      (* 4 fast-path packets of the same flow, accounted in bulk. *)
+      Recorder.record_fast_path_latency r ~n:4 (Time.of_us 500));
+  Engine.run e;
+  let all = Recorder.latency_ms_series r in
+  (* Mean over 5 packets: (10 + 4*0.5)/5 = 2.4 ms. *)
+  check (Alcotest.float 1e-9) "blended mean" 2.4 all.(0);
+  let first = Recorder.first_latency_ms_series r in
+  check (Alcotest.float 1e-9) "first-only mean" 10.0 first.(0);
+  let summary = Recorder.first_latency_summary r in
+  check Alcotest.int "one first sample" 1 (Stats.Online.count summary);
+  check (Alcotest.float 1e-9) "summary mean" 10.0 (Stats.Online.mean summary)
+
+let test_updates_hourly () =
+  let e, r = make () in
+  at e (Time.of_min 30) (fun () -> Recorder.on_grouping_update r);
+  at e (Time.of_min 45) (fun () -> Recorder.on_grouping_update r);
+  at e (Time.of_hour 5) (fun () -> Recorder.on_grouping_update r);
+  Engine.run e;
+  let per_hour = Recorder.updates_per_hour r in
+  check Alcotest.int "24 hourly buckets" 24 (Array.length per_hour);
+  check Alcotest.int "hour 0" 2 per_hour.(0);
+  check Alcotest.int "hour 5" 1 per_hour.(5);
+  check Alcotest.int "total" 3 (Recorder.total_updates r)
+
+let test_empty_buckets_are_nan () =
+  let _, r = make () in
+  let lat = Recorder.latency_ms_series r in
+  check Alcotest.bool "nan when empty" true (Float.is_nan lat.(0));
+  check Alcotest.int "n_buckets accessor" 12 (Recorder.n_buckets r)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "recorder",
+        [
+          Alcotest.test_case "workload bucketing" `Quick test_workload_bucketing;
+          Alcotest.test_case "latency series" `Quick test_latency_series;
+          Alcotest.test_case "hourly updates" `Quick test_updates_hourly;
+          Alcotest.test_case "empty buckets" `Quick test_empty_buckets_are_nan;
+        ] );
+    ]

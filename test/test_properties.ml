@@ -1,0 +1,110 @@
+(* Whole-network property tests on randomized small topologies:
+
+   - completeness: every flow started reaches its destination, in both
+     control-plane modes, whatever the placement;
+   - determinism: the same seed reproduces identical end-of-run
+     statistics, event for event. *)
+
+open Lazyctrl_net
+open Lazyctrl_sim
+open Lazyctrl_topo
+open Lazyctrl_core
+open Lazyctrl_controller
+module Prng = Lazyctrl_util.Prng
+
+let qtest ?(count = 8) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let relaxed_config =
+  {
+    Controller.default_config with
+    Controller.group_size_limit = 6;
+    sync_period = Time.of_sec 30;
+    keepalive_period = Time.of_sec 20;
+    echo_period = Time.of_sec 30;
+    echo_timeout = Time.of_min 2;
+    daemon_period = Time.of_sec 30;
+  }
+
+let gen_case =
+  let open QCheck2.Gen in
+  let* seed = int_range 1 1000 in
+  let* n_switches = int_range 6 16 in
+  let* n_tenants = int_range 2 5 in
+  let* n_flows = int_range 20 80 in
+  return (seed, n_switches, n_tenants, n_flows)
+
+let build_and_run ~mode (seed, n_switches, n_tenants, n_flows) =
+  let topo =
+    Placement.generate
+      ~rng:(Prng.create (seed * 31))
+      {
+        Placement.n_switches;
+        n_tenants;
+        tenant_size_min = 6;
+        tenant_size_max = 12;
+        racks_per_tenant = 2;
+        stray_fraction = 0.1;
+      }
+  in
+  let net =
+    Network.create
+      ~params:(Params.with_seed seed Params.default)
+      ~controller_config:relaxed_config ~mode ~topo
+      ~horizon:(Time.of_min 30) ()
+  in
+  Network.bootstrap net ();
+  Network.run net ~until:(Time.of_sec 30);
+  (* Random host pairs, injected over five minutes. *)
+  let rng = Prng.create (seed * 37) in
+  let hosts = Array.of_list (Topology.hosts topo) in
+  for i = 1 to n_flows do
+    let a = Prng.choose rng hosts and b = Prng.choose rng hosts in
+    if not (Host.equal a b) then
+      ignore
+        (Engine.schedule_at (Network.engine net)
+           ~at:(Time.add (Time.of_sec 30) (Time.of_ms (i * 3000)))
+           (fun () ->
+             Network.start_flow net ~src:a.Host.id ~dst:b.Host.id ~bytes:3000
+               ~packets:2))
+  done;
+  Network.run net ~until:(Time.of_min 30);
+  net
+
+let test_lazy_completeness =
+  qtest "lazy mode delivers every started flow" gen_case (fun case ->
+      let net = build_and_run ~mode:Network.Lazy case in
+      let hm = Network.host_model net in
+      Host_model.flows_delivered hm = Host_model.flows_started hm
+      && Host_model.resolutions_failed hm = 0)
+
+let test_openflow_completeness =
+  qtest "openflow mode delivers every started flow" gen_case (fun case ->
+      let net = build_and_run ~mode:Network.Openflow case in
+      let hm = Network.host_model net in
+      Host_model.flows_delivered hm = Host_model.flows_started hm)
+
+let fingerprint net =
+  let hm = Network.host_model net in
+  let s = Network.switch_stats_sum net in
+  ( Host_model.flows_started hm,
+    Host_model.flows_delivered hm,
+    Host_model.arp_requests_sent hm,
+    s.Lazyctrl_switch.Edge_switch.encap_sent,
+    s.Lazyctrl_switch.Edge_switch.punted,
+    s.Lazyctrl_switch.Edge_switch.gfib_handled,
+    Lazyctrl_metrics.Recorder.total_requests (Network.recorder net),
+    Engine.events_processed (Network.engine net) )
+
+let test_determinism =
+  qtest ~count:4 "same seed, same run" gen_case (fun case ->
+      let a = build_and_run ~mode:Network.Lazy case in
+      let b = build_and_run ~mode:Network.Lazy case in
+      fingerprint a = fingerprint b)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "end-to-end",
+        [ test_lazy_completeness; test_openflow_completeness; test_determinism ] );
+    ]

@@ -1,0 +1,205 @@
+(* Tests for lazyctrl.sim: time arithmetic and the event engine. *)
+
+open Lazyctrl_sim
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Time ------------------------------------------------------------- *)
+
+let test_time_constructors () =
+  check Alcotest.int "us" 1_000 (Time.to_ns (Time.of_us 1));
+  check Alcotest.int "ms" 1_000_000 (Time.to_ns (Time.of_ms 1));
+  check Alcotest.int "sec" 1_000_000_000 (Time.to_ns (Time.of_sec 1));
+  check Alcotest.int "min" 60_000_000_000 (Time.to_ns (Time.of_min 1));
+  check Alcotest.int "hour" 3_600_000_000_000 (Time.to_ns (Time.of_hour 1));
+  check Alcotest.int "float sec" 1_500_000_000 (Time.to_ns (Time.of_float_sec 1.5))
+
+let test_time_arithmetic () =
+  let a = Time.of_ms 5 and b = Time.of_ms 3 in
+  check Alcotest.int "add" 8_000_000 (Time.to_ns (Time.add a b));
+  check Alcotest.int "sub" 2_000_000 (Time.to_ns (Time.sub a b));
+  check Alcotest.int "diff symmetric" 2_000_000 (Time.to_ns (Time.diff b a));
+  check Alcotest.int "scale" 10_000_000 (Time.to_ns (Time.scale a 2.0));
+  Alcotest.check_raises "sub underflow"
+    (Invalid_argument "Time.sub: negative result") (fun () ->
+      ignore (Time.sub b a));
+  Alcotest.check_raises "negative ns" (Invalid_argument "Time.of_ns: negative")
+    (fun () -> ignore (Time.of_ns (-1)))
+
+let test_time_compare () =
+  check Alcotest.bool "lt" true Time.(Time.of_ms 1 < Time.of_ms 2);
+  check Alcotest.bool "ge" true Time.(Time.of_ms 2 >= Time.of_ms 2);
+  check Alcotest.int "min" 1 (Time.to_ns (Time.min (Time.of_ns 1) (Time.of_ns 2)));
+  check Alcotest.int "max" 2 (Time.to_ns (Time.max (Time.of_ns 1) (Time.of_ns 2)))
+
+let test_time_conversions =
+  qtest "float roundtrip" QCheck2.Gen.(int_range 0 1_000_000_000) (fun ns ->
+      let t = Time.of_ns ns in
+      Float.abs (Time.to_float_sec t -. (Float.of_int ns /. 1e9)) < 1e-12)
+
+(* --- Engine ------------------------------------------------------------ *)
+
+let test_engine_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let record tag () = log := tag :: !log in
+  ignore (Engine.schedule e ~after:(Time.of_ms 3) (record "c"));
+  ignore (Engine.schedule e ~after:(Time.of_ms 1) (record "a"));
+  ignore (Engine.schedule e ~after:(Time.of_ms 2) (record "b"));
+  Engine.run e;
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore
+      (Engine.schedule e ~after:(Time.of_ms 5) (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "FIFO among equal times"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_engine_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref Time.zero in
+  ignore (Engine.schedule e ~after:(Time.of_ms 7) (fun () -> seen := Engine.now e));
+  Engine.run e;
+  check Alcotest.int "clock at event time" 7_000_000 (Time.to_ns !seen)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule e ~after:(Time.of_ms 1) (fun () -> fired := true) in
+  check Alcotest.int "pending" 1 (Engine.pending e);
+  Engine.cancel e id;
+  check Alcotest.int "pending after cancel" 0 (Engine.pending e);
+  Engine.run e;
+  check Alcotest.bool "cancelled event silent" false !fired;
+  (* Double cancel is a no-op. *)
+  Engine.cancel e id;
+  check Alcotest.int "pending stable" 0 (Engine.pending e)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      ignore
+        (Engine.schedule e ~after:(Time.of_ms 1) (fun () ->
+             incr count;
+             chain (n - 1)))
+  in
+  chain 5;
+  Engine.run e;
+  check Alcotest.int "chained events" 5 !count;
+  check Alcotest.int "clock" 5_000_000 (Time.to_ns (Engine.now e))
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule e ~after:(Time.of_ms 1) (fun () -> fired := 1 :: !fired));
+  ignore (Engine.schedule e ~after:(Time.of_ms 10) (fun () -> fired := 10 :: !fired));
+  Engine.run ~until:(Time.of_ms 5) e;
+  check (Alcotest.list Alcotest.int) "only early event" [ 1 ] (List.rev !fired);
+  check Alcotest.int "clock at horizon" 5_000_000 (Time.to_ns (Engine.now e));
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "late event eventually" [ 1; 10 ]
+    (List.rev !fired)
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let id = Engine.every e ~period:(Time.of_ms 10) (fun () -> incr count) in
+  Engine.run ~until:(Time.of_ms 55) e;
+  check Alcotest.int "five periods" 5 !count;
+  Engine.cancel e id;
+  Engine.run ~until:(Time.of_ms 200) e;
+  check Alcotest.int "stopped after cancel" 5 !count
+
+let test_engine_every_jitter () =
+  let e = Engine.create () in
+  let times = ref [] in
+  let id =
+    Engine.every e ~period:(Time.of_ms 10)
+      ~jitter:(fun () -> Time.of_ms 5)
+      (fun () -> times := Time.to_ns (Engine.now e) :: !times)
+  in
+  Engine.run ~until:(Time.of_ms 40) e;
+  Engine.cancel e id;
+  check (Alcotest.list Alcotest.int) "jittered periods"
+    [ 15_000_000; 30_000_000 ]
+    (List.rev !times)
+
+let test_engine_schedule_at_past () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~after:(Time.of_ms 10) (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      ignore (Engine.schedule_at e ~at:(Time.of_ms 1) (fun () -> ())))
+
+let test_engine_step_and_count () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~after:Time.zero (fun () -> ()));
+  ignore (Engine.schedule e ~after:Time.zero (fun () -> ()));
+  check Alcotest.bool "step fires" true (Engine.step e);
+  check Alcotest.bool "step fires again" true (Engine.step e);
+  check Alcotest.bool "queue empty" false (Engine.step e);
+  check Alcotest.int "events processed" 2 (Engine.events_processed e)
+
+(* Fuzz: random schedules (including nested ones) always fire in
+   nondecreasing time order and fire exactly once. *)
+let test_engine_fuzz =
+  qtest ~count:100 "random schedules fire in order, exactly once"
+    QCheck2.Gen.(list_size (int_range 1 40) (int_range 0 10_000))
+    (fun delays ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i d ->
+          ignore
+            (Engine.schedule e ~after:(Time.of_us d) (fun () ->
+                 fired := (i, Time.to_ns (Engine.now e)) :: !fired;
+                 (* Some events schedule follow-ups. *)
+                 if i mod 3 = 0 then
+                   ignore
+                     (Engine.schedule e ~after:(Time.of_us d) (fun () ->
+                          fired := (1000 + i, Time.to_ns (Engine.now e)) :: !fired)))))
+        delays;
+      Engine.run e;
+      let times = List.rev_map snd !fired in
+      let sorted = List.sort compare times in
+      let follow_ups = List.length (List.filteri (fun i _ -> i mod 3 = 0) delays) in
+      times = sorted
+      && List.length times = List.length delays + follow_ups)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "constructors" `Quick test_time_constructors;
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+          Alcotest.test_case "compare" `Quick test_time_compare;
+          test_time_conversions;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time order" `Quick test_engine_order;
+          Alcotest.test_case "FIFO ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_engine_run_until;
+          Alcotest.test_case "every" `Quick test_engine_every;
+          Alcotest.test_case "every with jitter" `Quick test_engine_every_jitter;
+          Alcotest.test_case "past rejected" `Quick test_engine_schedule_at_past;
+          Alcotest.test_case "step/count" `Quick test_engine_step_and_count;
+          test_engine_fuzz;
+        ] );
+    ]
