@@ -1,0 +1,20 @@
+.PHONY: all build test lint bench clean
+
+all: build
+
+build:
+	dune build
+
+# Unit/property tests plus the lazyctrl-lint static-analysis gate.
+test:
+	dune runtest
+
+# Just the static analysis (also part of `make test`).
+lint:
+	dune build @lint
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -193,15 +193,22 @@ let t_micro () =
     results
   in
   let results = benchmark () in
-  Hashtbl.iter
-    (fun _ tbl ->
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-44s %12.1f ns/run\n" name est
-          | _ -> Printf.printf "%-44s (no estimate)\n" name)
-        tbl)
-    results
+  (* Collect and sort by benchmark name so the report order is stable. *)
+  let rows =
+    Lazyctrl_util.Det.fold_sorted ~cmp:String.compare
+      (fun _ tbl acc ->
+        Lazyctrl_util.Det.fold_sorted ~cmp:String.compare
+          (fun name result acc -> (name, result) :: acc)
+          tbl acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-44s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-44s (no estimate)\n" name)
+    rows
 
 (* --- driver ----------------------------------------------------------------- *)
 

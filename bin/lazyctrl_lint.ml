@@ -1,0 +1,60 @@
+(* lazyctrl-lint: determinism & protocol-invariant checks for the
+   simulator sources.  See README "Static analysis" for the rule list.
+
+   Exit status: 0 when no gating findings, 1 otherwise, 2 on usage error. *)
+
+let usage = "lazyctrl_lint [--root DIR] [--allow FILE] [--json] [--rules]"
+
+let () =
+  let root = ref "." in
+  let allow = ref ".lazyctrl-lint-allow" in
+  let json = ref false in
+  let list_rules = ref false in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root to scan (default .)");
+      ( "--allow",
+        Arg.Set_string allow,
+        "FILE allowlist path (default .lazyctrl-lint-allow, relative to \
+         --root)" );
+      ("--json", Arg.Set json, " emit the report as JSON");
+      ("--rules", Arg.Set list_rules, " list rule identifiers and exit");
+    ]
+  in
+  Arg.parse spec
+    (fun anon ->
+      Printf.eprintf "unexpected argument %s\n%s\n" anon usage;
+      exit 2)
+    usage;
+  if !list_rules then begin
+    List.iter print_endline Lazyctrl_analysis.Rules.all;
+    exit 0
+  end;
+  let allow_path =
+    if Filename.is_relative !allow then Filename.concat !root !allow
+    else !allow
+  in
+  let report = Lazyctrl_analysis.Driver.run ~root:!root ~allow_path in
+  let open Lazyctrl_analysis in
+  if !json then print_string (Driver.report_to_json report)
+  else begin
+    List.iter
+      (fun f -> print_endline (Finding.to_string f))
+      report.Driver.findings;
+    List.iter
+      (fun f -> print_endline (Finding.to_string f))
+      report.Driver.stale;
+    List.iter
+      (fun (file, _) ->
+        Printf.printf
+          "%s: note: file did not parse; token-level rules applied\n" file)
+      report.Driver.parse_failures;
+    Printf.printf
+      "lazyctrl-lint: %d file(s) scanned, %d finding(s), %d suppressed by \
+       allowlist, %d stale allowlist entr(ies)\n"
+      report.Driver.files_scanned
+      (List.length report.Driver.findings)
+      (List.length report.Driver.suppressed)
+      (List.length report.Driver.stale)
+  end;
+  exit (if Driver.clean report then 0 else 1)

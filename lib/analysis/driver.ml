@@ -1,0 +1,164 @@
+(* Lint driver: walks the source tree, runs the Parsetree rules (with a
+   token-level fallback for unparsable files) and the whole-program
+   protocol checks, then filters the result through the allowlist. *)
+
+type report = {
+  findings : Finding.t list;  (* gating: unallowlisted + malformed allowlist *)
+  suppressed : Finding.t list;  (* matched by an allowlist entry *)
+  stale : Finding.t list;  (* allowlist entries that matched nothing *)
+  files_scanned : int;
+  parse_failures : (string * string) list;  (* file, parser message *)
+}
+
+(* Directories scanned for per-file rules.  [test/] is deliberately out of
+   scope: fixtures there exercise the rules and tests may use structural
+   equality on concrete types freely. *)
+let scan_dirs = [ "lib"; "bin"; "bench"; "examples" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  content
+
+let is_dir path = try Sys.is_directory path with Sys_error _ -> false
+
+(* Repo-relative .ml paths under [rel], in sorted order (Sys.readdir order
+   is platform-dependent). *)
+let rec ml_files_under ~root rel acc =
+  let abs = Filename.concat root rel in
+  if not (is_dir abs) then acc
+  else begin
+    let names = Sys.readdir abs in
+    Array.sort String.compare names;
+    Array.fold_left
+      (fun acc name ->
+        let rel' = rel ^ "/" ^ name in
+        if is_dir (Filename.concat abs name) then ml_files_under ~root rel' acc
+        else if Rules.has_suffix ~suffix:".ml" name then rel' :: acc
+        else acc)
+      acc names
+  end
+
+(* Per-file rules: Parsetree pass, or the token fallback when the file
+   does not parse.  Returns the findings and the parse error, if any. *)
+let lint_source ~file ~src =
+  match Parse_ml.parse ~file ~src with
+  | Ok structure -> (Ast_rules.scan ~file structure, None)
+  | Error msg -> (Token_rules.scan ~file ~src, Some msg)
+
+(* --- whole-program protocol checks ---------------------------------------- *)
+
+let proto_file = "lib/switch/proto.ml"
+let failover_file = "lib/controller/failover.ml"
+let handler_files = [ "lib/switch/edge_switch.ml"; "lib/controller/controller.ml" ]
+
+let parse_rel ~root rel =
+  let abs = Filename.concat root rel in
+  if not (Sys.file_exists abs) then
+    Error (Printf.sprintf "%s does not exist" rel)
+  else
+    match Parse_ml.parse ~file:rel ~src:(read_file abs) with
+    | Ok s -> Ok s
+    | Error msg -> Error (Printf.sprintf "%s does not parse: %s" rel msg)
+
+let protocol_findings ~root =
+  let fail ~rule msg =
+    [ Finding.make ~file:"." ~line:1 ~rule ~severity:Finding.Error msg ]
+  in
+  let failover =
+    match parse_rel ~root failover_file with
+    | Ok s -> Proto_rules.check_failover ~file:failover_file s
+    | Error msg ->
+        fail ~rule:Rules.p_failover_table
+          (Printf.sprintf "cannot verify the failure-inference table: %s" msg)
+  in
+  let coverage =
+    match parse_rel ~root proto_file with
+    | Error msg ->
+        fail ~rule:Rules.p_proto_coverage
+          (Printf.sprintf "cannot verify message coverage: %s" msg)
+    | Ok proto_structure ->
+        let handlers, errors =
+          List.fold_left
+            (fun (hs, errs) rel ->
+              match parse_rel ~root rel with
+              | Ok s -> ((rel, s) :: hs, errs)
+              | Error msg ->
+                  ( hs,
+                    fail ~rule:Rules.p_proto_coverage
+                      (Printf.sprintf "cannot verify message coverage: %s" msg)
+                    @ errs ))
+            ([], []) handler_files
+        in
+        errors
+        @ Proto_rules.check_coverage
+            ~proto:(proto_file, proto_structure)
+            ~handlers:(List.rev handlers) ()
+  in
+  failover @ coverage
+
+(* --- entry point ----------------------------------------------------------- *)
+
+let run ~root ~allow_path =
+  let allow, allow_findings = Allowlist.load allow_path in
+  let files =
+    List.concat_map (fun d -> ml_files_under ~root d []) scan_dirs
+    |> List.sort String.compare
+  in
+  let parse_failures = ref [] in
+  let per_file =
+    List.concat_map
+      (fun rel ->
+        let src = read_file (Filename.concat root rel) in
+        let findings, err = lint_source ~file:rel ~src in
+        (match err with
+        | Some msg -> parse_failures := (rel, msg) :: !parse_failures
+        | None -> ());
+        findings)
+      files
+  in
+  let all = per_file @ protocol_findings ~root in
+  let suppressed, gating =
+    List.partition
+      (fun (f : Finding.t) -> Allowlist.permits allow ~file:f.file ~rule:f.rule)
+      all
+  in
+  {
+    findings = List.sort Finding.compare (allow_findings @ gating);
+    suppressed = List.sort Finding.compare suppressed;
+    stale = Allowlist.unused allow;
+    files_scanned = List.length files;
+    parse_failures = List.rev !parse_failures;
+  }
+
+let clean report = List.is_empty report.findings
+
+let report_to_json report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      Buffer.add_string buf (Finding.to_json f))
+    report.findings;
+  Buffer.add_string buf "\n  ],\n  \"suppressed\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      Buffer.add_string buf (Finding.to_json f))
+    report.suppressed;
+  Buffer.add_string buf "\n  ],\n  \"stale_allowlist\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    ";
+      Buffer.add_string buf (Finding.to_json f))
+    report.stale;
+  Buffer.add_string buf
+    (Printf.sprintf "\n  ],\n  \"files_scanned\": %d,\n  \"clean\": %b\n}"
+       report.files_scanned (clean report));
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(* A single rule violation, pinned to a source location. *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let make ~file ~line ?(col = 0) ~rule ~severity message =
+  { file; line; col; rule; severity; message }
+
+let severity_string = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp fmt t =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s: %s" t.file t.line t.col t.rule
+    (severity_string t.severity) t.message
+
+let to_string t = Format.asprintf "%a" pp t
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","severity":"%s","message":"%s"}|}
+    (json_escape t.file) t.line t.col (json_escape t.rule)
+    (severity_string t.severity)
+    (json_escape t.message)

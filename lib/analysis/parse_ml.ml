@@ -1,0 +1,18 @@
+(* Parse an .ml source into a Parsetree via compiler-libs.  Parse errors
+   are reported back so the driver can fall back to token scanning. *)
+
+let parse ~file ~src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception exn ->
+      let msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+        | _ -> Printexc.to_string exn
+      in
+      Error msg
+
+let line_of (loc : Location.t) = loc.loc_start.pos_lnum
+let col_of (loc : Location.t) = loc.loc_start.pos_cnum - loc.loc_start.pos_bol

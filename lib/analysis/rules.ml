@@ -1,0 +1,51 @@
+(* Rule identifiers and shared scoping knobs for the lint pass.
+
+   Rule families (see README "Static analysis"):
+   - D00x: determinism — anything that can make two runs of the simulator
+     with the same seed diverge.
+   - A00x: abstraction safety — polymorphic structural compare/equal/hash
+     applied where a keyed module exports dedicated operations.
+   - P00x: protocol invariants — the wheel failure-inference table and the
+     controller/switch message grammar stay total and consistent. *)
+
+let d_hashtbl_order = "D001-hashtbl-order"
+let d_raw_random = "D002-raw-random"
+let d_wall_clock = "D003-wall-clock"
+let d_float_eq = "D004-float-eq"
+let a_poly_compare = "A001-poly-compare"
+let a_poly_hash = "A002-poly-hash"
+let a_poly_eq = "A003-poly-eq"
+let p_failover_table = "P001-failover-table"
+let p_proto_coverage = "P002-proto-coverage"
+
+let all =
+  [
+    d_hashtbl_order;
+    d_raw_random;
+    d_wall_clock;
+    d_float_eq;
+    a_poly_compare;
+    a_poly_hash;
+    a_poly_eq;
+    p_failover_table;
+    p_proto_coverage;
+  ]
+
+let is_known r = List.exists (String.equal r) all
+
+let has_suffix ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.equal (String.sub s (ls - lx) lx) suffix
+
+(* The one module allowed to draw raw randomness: everything else must go
+   through the seeded, splittable PRNG. *)
+let random_sanctuary file = has_suffix ~suffix:"lib/util/prng.ml" file
+
+(* The one module allowed to touch host clocks: simulated time.  (It does
+   not today — simulated time is purely virtual — but the carve-out keeps
+   the rule meaningful if a real-time bridge is ever added there.) *)
+let clock_sanctuary file = has_suffix ~suffix:"lib/sim/time.ml" file
+
+(* Record fields whose comparison with polymorphic [=] almost certainly
+   wants the keyed module's [equal] instead. *)
+let keyed_fields = [ "mac"; "ip"; "tenant"; "designated"; "origin"; "id" ]

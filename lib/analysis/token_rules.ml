@@ -1,0 +1,120 @@
+(* Token-level fallback scanner, used when a file does not parse (e.g. a
+   work-in-progress source or cpp-style templated snippet).  It blanks
+   comments and string literals, then looks for hazard substrings on each
+   line.  Coarser than Ast_rules — no sort-sink sanctioning — but it keeps
+   the determinism gates live even on unparsable input. *)
+
+(* Replace comment and string-literal bodies with spaces, preserving line
+   structure so reported line numbers stay accurate. *)
+let blank_comments_and_strings src =
+  let n = String.length src in
+  let buf = Bytes.of_string src in
+  let put i c = if not (Char.equal c '\n') then Bytes.set buf i ' ' in
+  let i = ref 0 in
+  let comment_depth = ref 0 in
+  let in_string = ref false in
+  while !i < n do
+    let c = src.[!i] in
+    if !in_string then begin
+      if Char.equal c '\\' && !i + 1 < n then begin
+        put !i c;
+        put (!i + 1) src.[!i + 1];
+        i := !i + 2
+      end
+      else begin
+        if Char.equal c '"' then in_string := false;
+        put !i c;
+        incr i
+      end
+    end
+    else if !comment_depth > 0 then begin
+      if Char.equal c '(' && !i + 1 < n && Char.equal src.[!i + 1] '*' then begin
+        incr comment_depth;
+        put !i c;
+        put (!i + 1) '*';
+        i := !i + 2
+      end
+      else if Char.equal c '*' && !i + 1 < n && Char.equal src.[!i + 1] ')'
+      then begin
+        decr comment_depth;
+        put !i c;
+        put (!i + 1) ')';
+        i := !i + 2
+      end
+      else begin
+        put !i c;
+        incr i
+      end
+    end
+    else if Char.equal c '(' && !i + 1 < n && Char.equal src.[!i + 1] '*' then begin
+      comment_depth := 1;
+      put !i c;
+      put (!i + 1) '*';
+      i := !i + 2
+    end
+    else if Char.equal c '"' then begin
+      in_string := true;
+      put !i c;
+      incr i
+    end
+    else incr i
+  done;
+  Bytes.to_string buf
+
+let contains ~needle hay =
+  let ln = String.length needle and lh = String.length hay in
+  let rec at i =
+    if i + ln > lh then false
+    else if String.equal (String.sub hay i ln) needle then true
+    else at (i + 1)
+  in
+  ln > 0 && at 0
+
+let patterns ~file =
+  let base =
+    [
+      ("Hashtbl.iter", Rules.d_hashtbl_order, Finding.Warning);
+      ("Hashtbl.fold", Rules.d_hashtbl_order, Finding.Warning);
+      ("Tbl.iter", Rules.d_hashtbl_order, Finding.Warning);
+      ("Tbl.fold", Rules.d_hashtbl_order, Finding.Warning);
+      ("Hashtbl.to_seq", Rules.d_hashtbl_order, Finding.Warning);
+      ("Hashtbl.hash", Rules.a_poly_hash, Finding.Warning);
+    ]
+  in
+  let base =
+    if Rules.random_sanctuary file then base
+    else ("Random.", Rules.d_raw_random, Finding.Error) :: base
+  in
+  if Rules.clock_sanctuary file then base
+  else
+    ("Unix.gettimeofday", Rules.d_wall_clock, Finding.Error)
+    :: ("Unix.time", Rules.d_wall_clock, Finding.Error)
+    :: ("Sys.time", Rules.d_wall_clock, Finding.Error)
+    :: base
+
+let scan ~file ~src =
+  let clean = blank_comments_and_strings src in
+  let lines = String.split_on_char '\n' clean in
+  let pats = patterns ~file in
+  let findings = ref [] in
+  List.iteri
+    (fun idx line ->
+      List.iter
+        (fun (needle, rule, severity) ->
+          if
+            contains ~needle line
+            && not
+                 (List.exists
+                    (fun (f : Finding.t) ->
+                      Int.equal f.line (idx + 1) && String.equal f.rule rule)
+                    !findings)
+          then
+            findings :=
+              Finding.make ~file ~line:(idx + 1) ~rule ~severity
+                (Printf.sprintf
+                   "(token scan; file did not parse) found '%s' — see the \
+                    %s rule" needle rule)
+              :: !findings)
+        pats)
+    lines;
+  List.sort Finding.compare !findings

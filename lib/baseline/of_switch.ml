@@ -61,7 +61,8 @@ let flood_local t (eth : Packet.eth) =
       (fun (h : Host.t) -> h.tenant)
       (Hashtbl.find_opt t.ports (Mac.to_int eth.src))
   in
-  Hashtbl.iter
+  (* Flood in mac order: delivery order is visible in the event stream. *)
+  Lazyctrl_util.Det.iter_sorted ~cmp:Int.compare
     (fun _ (h : Host.t) ->
       let same_tenant =
         match sender_tenant with
@@ -78,7 +79,7 @@ let apply_actions t packet actions =
     (function
       | Action.Deliver hid -> (
           let found =
-            Hashtbl.fold
+            Lazyctrl_util.Det.fold_sorted ~cmp:Int.compare
               (fun _ (h : Host.t) acc ->
                 if Ids.Host_id.equal h.id hid then Some h else acc)
               t.ports None

@@ -67,8 +67,12 @@ let remove t sw (key : Proto.host_key) =
   | _ -> () (* stale removal, superseded by a newer location *)
 
 let set_row t sw keys =
+  (* Removal order is observable through tenant-presence bookkeeping, so
+     take the old row in sorted (mac) order. *)
   let tbl = switch_table t sw in
-  let old = Hashtbl.fold (fun _ k acc -> k :: acc) tbl [] in
+  let old =
+    List.map snd (Lazyctrl_util.Det.bindings_sorted ~cmp:Int.compare tbl)
+  in
   List.iter (remove t sw) old;
   List.iter (add t sw) keys
 

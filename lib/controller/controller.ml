@@ -5,6 +5,7 @@ open Lazyctrl_grouping
 open Lazyctrl_openflow
 open Lazyctrl_switch
 module Prng = Lazyctrl_util.Prng
+module Det = Lazyctrl_util.Det
 module Sid = Ids.Switch_id
 
 type msg = Proto.t Message.t
@@ -175,9 +176,11 @@ let note_intensity t a b w =
   end
 
 let decay_matrix t =
+  (* Det.iter_sorted snapshots the key set first, which also makes the
+     remove-while-traversing pattern well-defined. *)
   let f = t.config.intensity_decay in
   let dead = ref [] in
-  Hashtbl.iter
+  Det.iter_sorted ~cmp:Det.pair_compare
     (fun key w ->
       let w' = w *. f in
       if w' < 1e-6 then dead := key :: !dead else Hashtbl.replace t.matrix key w')
@@ -185,8 +188,12 @@ let decay_matrix t =
   List.iter (Hashtbl.remove t.matrix) !dead
 
 let current_intensity t =
+  (* Sorted traversal: the builder's edge order (and any float rounding
+     downstream in the partitioner) stays run-to-run stable. *)
   let b = Wgraph.Builder.create ~n:t.n_switches in
-  Hashtbl.iter (fun (a, c) w -> Wgraph.Builder.add_edge b a c w) t.matrix;
+  Det.iter_sorted ~cmp:Det.pair_compare
+    (fun (a, c) w -> Wgraph.Builder.add_edge b a c w)
+    t.matrix;
   Wgraph.Builder.build b
 
 (* --- group configuration push ---------------------------------------------- *)
@@ -209,7 +216,7 @@ let make_group_config t ~gid ~members ~prev =
         (d, [])
   in
   let backups =
-    if backups = [] then
+    if List.is_empty backups then
       List.filteri (fun i _ -> i < 2) (List.filter (fun m -> not (Sid.equal m designated)) members)
     else backups
   in
@@ -282,7 +289,7 @@ let push_group t (cfg : Proto.group_config) =
         match Clib.row t.clib m with [] -> None | row -> Some (m, row))
       cfg.members
   in
-  if lfibs <> [] then
+  if not (List.is_empty lfibs) then
     send t cfg.designated (Message.Extension (Proto.Group_sync { lfibs }))
 
 (* Push configs for groups whose membership changed relative to the
@@ -425,7 +432,7 @@ let evaluate_failures t =
       let prev =
         Option.value (Sid.Map.find_opt sw t.last_verdicts) ~default:Failover.Healthy
       in
-      if v <> prev then begin
+      if not (Failover.verdict_equal v prev) then begin
         t.last_verdicts <- Sid.Map.add sw v t.last_verdicts;
         handle_verdict t sw v
       end)
@@ -433,7 +440,8 @@ let evaluate_failures t =
   (* Clear verdict memory for switches that recovered. *)
   t.last_verdicts <-
     Sid.Map.filter
-      (fun sw _ -> Failover.Monitor.verdict t.monitor sw <> Failover.Healthy)
+      (fun sw _ ->
+        not (Failover.verdict_equal (Failover.Monitor.verdict t.monitor sw) Failover.Healthy))
       t.last_verdicts
 
 let switch_recovered t sw =
@@ -451,7 +459,7 @@ let switch_recovered t sw =
             match Clib.row t.clib m with [] -> None | row -> Some (m, row))
           cfg.members
       in
-      if lfibs <> [] then
+      if not (List.is_empty lfibs) then
         send t cfg.designated (Message.Extension (Proto.Group_sync { lfibs }))
 
 (* --- ARP relay and packet handling ------------------------------------------ *)
@@ -470,7 +478,7 @@ let designated_of_group t gid =
     (fun cfg ->
       match cfg with
       | Some (c : Proto.group_config)
-        when Ids.Group_id.equal c.group gid && !found = None ->
+        when Ids.Group_id.equal c.group gid && Option.is_none !found ->
           found := Some c.designated
       | _ -> ())
     t.configs;
@@ -483,7 +491,7 @@ let relay_arp t ~origin packet =
   | Some target_ip -> (
       let origin_group = group_of_switch t origin in
       let relay_to_group gid =
-        if Some gid <> origin_group then
+        if not (Option.equal Ids.Group_id.equal (Some gid) origin_group) then
           match designated_of_group t gid with
           | Some d ->
               t.s_arp_relays <- t.s_arp_relays + 1;
@@ -667,7 +675,7 @@ let daemon_tick t =
   t.ewma_rate <- (0.3 *. t.ewma_rate) +. (0.7 *. fresh);
   decay_matrix t;
   evaluate_failures t;
-  if t.config.incremental_updates && t.grouping <> None then begin
+  if t.config.incremental_updates && Option.is_some t.grouping then begin
     let base = Float.max t.rate_at_last_update 0.001 in
     let growth = (t.ewma_rate -. base) /. base in
     let interval_ok =

@@ -11,6 +11,19 @@ type verdict =
   | Switch_failure
   | Ambiguous
 
+(* Dedicated comparisons so verdict tests never fall back to polymorphic
+   equality (and so List.mem/assoc-style helpers have something to use). *)
+let verdict_rank = function
+  | Healthy -> 0
+  | Control_link_failure -> 1
+  | Peer_link_up_failure -> 2
+  | Peer_link_down_failure -> 3
+  | Switch_failure -> 4
+  | Ambiguous -> 5
+
+let verdict_compare a b = Int.compare (verdict_rank a) (verdict_rank b)
+let verdict_equal a b = Int.equal (verdict_rank a) (verdict_rank b)
+
 let infer = function
   | { up_lost = false; down_lost = false; ctrl_lost = false } -> Healthy
   | { up_lost = false; down_lost = false; ctrl_lost = true } -> Control_link_failure
@@ -64,7 +77,7 @@ module Monitor = struct
     match find t sw with
     | None -> ()
     | Some e ->
-        if e.echo_pending_since = None then
+        if Option.is_none e.echo_pending_since then
           e.echo_pending_since <- Some (Engine.now t.engine)
 
   let echo_received t sw =

@@ -30,6 +30,10 @@ type verdict =
 val infer : observation -> verdict
 (** Pure Table I lookup. *)
 
+val verdict_compare : verdict -> verdict -> int
+val verdict_equal : verdict -> verdict -> bool
+(** Dedicated comparisons — prefer these to polymorphic [=] on verdicts. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit
 
 module Monitor : sig

@@ -94,7 +94,7 @@ let rec send_arp t (src : Host.t) target_ip ~attempt =
              (* Resolution failed: give up on the queued flows so a later
                 flow can start a fresh resolution. *)
              t.arp_failed <- t.arp_failed + 1;
-             if Sys.getenv_opt "LAZYCTRL_DEBUG_ARP" <> None then
+             if Option.is_some (Sys.getenv_opt "LAZYCTRL_DEBUG_ARP") then
                Printf.eprintf "ARP-FAIL t=%.1fs src=h%d dst_ip=%s\n%!"
                  (Time.to_float_sec (now t))
                  (Ids.Host_id.to_int src.Host.id)
@@ -112,7 +112,7 @@ let start_flow t ~src ~dst ~bytes ~packets =
     Hashtbl.replace t.pending key ((src, dst, bytes, packets, now t) :: queued);
     (* One outstanding resolution per (host, target); later flows just
        queue behind it. *)
-    if queued = [] then send_arp t src dst.ip ~attempt:0
+    if List.is_empty queued then send_arp t src dst.ip ~attempt:0
   end
 
 let flow_id_of (p : Packet.ipv4_payload) =

@@ -157,7 +157,7 @@ let exclusion_table ?(seed = 42) ?(n_flows = 150_000)
   List.iter
     (fun fraction ->
       let exclude_hosts =
-        if fraction = 0.0 then None
+        if Float.equal fraction 0.0 then None
         else Some (Analysis.high_fanout_hosts trace ~fraction)
       in
       let g = Analysis.switch_intensity ?exclude_hosts ~topo trace in

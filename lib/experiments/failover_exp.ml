@@ -118,7 +118,8 @@ let run_scenario ~seed scenario =
      like a control-link failure); report the decisive verdict if it was
      reached. *)
   let final =
-    if List.mem (expected scenario) inferred then Some (expected scenario)
+    if List.exists (Failover.verdict_equal (expected scenario)) inferred then
+      Some (expected scenario)
     else match List.rev inferred with v :: _ -> Some v | [] -> None
   in
   let recovered =
@@ -132,9 +133,9 @@ let run_scenario ~seed scenario =
         (* Relay should be active: control messages still reach the
            controller through the upstream neighbour. *)
         match Network.edge_switch net target with
-        | Some _ -> List.mem (expected scenario) inferred
+        | Some _ -> List.exists (Failover.verdict_equal (expected scenario)) inferred
         | None -> false)
-    | Peer_up | Peer_down -> inferred <> []
+    | Peer_up | Peer_down -> not (List.is_empty inferred)
   in
   (final, recovered)
 

@@ -38,7 +38,7 @@ let run ?(seed = 42) ?(group_size = 46) ?(hosts_per_switch = 64)
   for _ = 1 to probes do
     let absent = inserted + 1 + Prng.int rng 1_000_000 in
     let mac = Mac.of_host_id absent in
-    if Gfib.candidates_mac gfib mac <> [] then incr positives
+    if not (List.is_empty (Gfib.candidates_mac gfib mac)) then incr positives
   done;
   let measured_fp = Float.of_int !positives /. Float.of_int probes in
   (* Predicted per-filter FP from the fill ratio; a query touches all

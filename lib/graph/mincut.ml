@@ -1,4 +1,5 @@
 module Heap = Lazyctrl_util.Heap
+module Det = Lazyctrl_util.Det
 
 let cut_weight g side =
   let w = ref 0.0 in
@@ -38,7 +39,10 @@ let stoer_wagner g =
       in_a.(v) <- true;
       order := v :: !order;
       Heap.Indexed.remove heap v;
-      Hashtbl.iter
+      (* Sorted neighbour order: the float additions below are
+         order-sensitive, and ties in the heap must break the same way
+         every run. *)
+      Det.iter_sorted ~cmp:Int.compare
         (fun u w ->
           if alive.(u) && not in_a.(u) then
             let prev = try Heap.Indexed.priority heap u with Not_found -> 0.0 in
@@ -78,7 +82,7 @@ let stoer_wagner g =
     alive.(t) <- false;
     decr n_alive;
     members.(s) <- members.(t) @ members.(s);
-    Hashtbl.iter
+    Det.iter_sorted ~cmp:Int.compare
       (fun u w ->
         if u <> s && alive.(u) then begin
           let bump a b =

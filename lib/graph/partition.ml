@@ -1,5 +1,6 @@
 module Heap = Lazyctrl_util.Heap
 module Prng = Lazyctrl_util.Prng
+module Det = Lazyctrl_util.Det
 
 type assignment = int array
 
@@ -35,7 +36,9 @@ let validate g ~k ?max_part_weight a =
     | Some cap ->
         let pw = part_weights g ~k a in
         let bad = ref None in
-        Array.iteri (fun p w -> if w > cap && !bad = None then bad := Some (p, w)) pw;
+        Array.iteri
+          (fun p w -> if w > cap && Option.is_none !bad then bad := Some (p, w))
+          pw;
         (match !bad with
         | None -> Ok ()
         | Some (p, w) ->
@@ -51,14 +54,15 @@ let default_cap g ~k =
   max slack !max_vw
 
 (* Connection weights from vertex [v] to each part, as an association over
-   the parts adjacent to [v]. *)
+   the parts adjacent to [v], sorted by part index so callers scan it in a
+   deterministic order. *)
 let connections g a v =
   let conn = Hashtbl.create 8 in
   Wgraph.iter_neighbors g v (fun u w ->
       let p = a.(u) in
       if p >= 0 then
         Hashtbl.replace conn p (w +. Option.value (Hashtbl.find_opt conn p) ~default:0.0));
-  conn
+  Det.bindings_sorted ~cmp:Int.compare conn
 
 let refine g ~k ?max_part_weight ?(passes = 8) a =
   let cap = match max_part_weight with Some c -> c | None -> default_cap g ~k in
@@ -71,15 +75,18 @@ let refine g ~k ?max_part_weight ?(passes = 8) a =
       let from = a.(v) in
       let vw = Wgraph.vertex_weight g v in
       let conn = connections g a v in
-      let internal = Option.value (Hashtbl.find_opt conn from) ~default:0.0 in
+      let internal =
+        Option.value (List.assoc_opt from conn) ~default:0.0
+      in
       let best_p = ref (-1) and best_gain = ref 0.0 in
-      Hashtbl.iter
-        (fun p w ->
+      List.iter
+        (fun (p, w) ->
           if p <> from && pw.(p) + vw <= cap then begin
             let gain = w -. internal in
             let better =
               gain > !best_gain
-              || (gain = !best_gain && !best_p >= 0 && pw.(p) < pw.(!best_p))
+              || (Float.equal gain !best_gain && !best_p >= 0
+                  && pw.(p) < pw.(!best_p))
             in
             if gain > 0.0 && (!best_p < 0 || better) then begin
               best_p := p;
@@ -130,10 +137,10 @@ let repair g ~k ~cap a =
         if a.(v) = p then begin
           let vw = Wgraph.vertex_weight g v in
           let conn = connections g a v in
-          let internal = Option.value (Hashtbl.find_opt conn p) ~default:0.0 in
+          let internal = Option.value (List.assoc_opt p conn) ~default:0.0 in
           for q = 0 to k - 1 do
             if q <> p && pw.(q) + vw <= cap then begin
-              let ext = Option.value (Hashtbl.find_opt conn q) ~default:0.0 in
+              let ext = Option.value (List.assoc_opt q conn) ~default:0.0 in
               let gain = ext -. internal in
               match !best with
               | Some (_, _, g', _) when g' >= gain -> ()
@@ -204,8 +211,8 @@ let initial_partition ~rng ~cap ~k g =
       let vw = Wgraph.vertex_weight g v in
       let conn = connections g a v in
       let best = ref (-1) and best_w = ref neg_infinity in
-      Hashtbl.iter
-        (fun p w ->
+      List.iter
+        (fun (p, w) ->
           if p >= 0 && pw.(p) + vw <= cap && w > !best_w then begin
             best := p;
             best_w := w

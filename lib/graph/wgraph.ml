@@ -38,12 +38,19 @@ module Builder = struct
     t.weights.(v) <- w
 
   let build t =
+    (* Deterministic edge order: snapshot the edge table once, sorted. *)
+    let edge_list =
+      List.map
+        (fun ((u, v), w) -> (u, v, w))
+        (Lazyctrl_util.Det.bindings_sorted ~cmp:Lazyctrl_util.Det.pair_compare
+           t.edges)
+    in
     let deg = Array.make t.n 0 in
-    Hashtbl.iter
-      (fun (u, v) _ ->
+    List.iter
+      (fun (u, v, _) ->
         deg.(u) <- deg.(u) + 1;
         deg.(v) <- deg.(v) + 1)
-      t.edges;
+      edge_list;
     let xadj = Array.make (t.n + 1) 0 in
     for i = 0 to t.n - 1 do
       xadj.(i + 1) <- xadj.(i) + deg.(i)
@@ -53,12 +60,6 @@ module Builder = struct
     let adjwgt = Array.make m2 0.0 in
     let cursor = Array.copy xadj in
     let total = ref 0.0 in
-    (* Deterministic edge order: sort the edge list. *)
-    let edge_list =
-      Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) t.edges []
-      |> List.sort (fun (a, b, _) (c, d, _) ->
-             match Int.compare a c with 0 -> Int.compare b d | o -> o)
-    in
     List.iter
       (fun (u, v, w) ->
         adjncy.(cursor.(u)) <- v;

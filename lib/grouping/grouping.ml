@@ -70,9 +70,17 @@ let group_pair_intensity g t =
         Hashtbl.replace acc key (w +. Option.value (Hashtbl.find_opt acc key) ~default:0.0)
       end);
   Hashtbl.fold (fun (a, b) w l -> (a, b, w) :: l) acc []
-  |> List.sort (fun (_, _, w1) (_, _, w2) -> Float.compare w2 w1)
+  |> List.sort (fun (a1, b1, w1) (a2, b2, w2) ->
+         (* Weight descending, then group pair: equal weights must not
+            leave the order to hash-bucket layout. *)
+         match Float.compare w2 w1 with
+         | 0 -> (
+             match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+         | c -> c)
 
-let equal a b = a.assignment = b.assignment
+let equal a b =
+  Int.equal (Array.length a.assignment) (Array.length b.assignment)
+  && Array.for_all2 Int.equal a.assignment b.assignment
 
 let pp fmt t =
   Format.fprintf fmt "grouping(%d switches, %d groups, max=%d)" (n_switches t)

@@ -31,8 +31,8 @@ end) : ID = struct
   module Key = struct
     type nonrec t = t
 
-    let compare = compare
-    let equal = equal
+    let compare = Int.compare
+    let equal = Int.equal
     let hash = hash
   end
 

@@ -50,13 +50,17 @@ let field_ok eq pin actual =
 let matches t (e : Packet.eth) =
   field_ok Mac.equal t.src_mac e.src
   && field_ok Mac.equal t.dst_mac e.dst
-  && (match t.vlan with None -> true | Some v -> e.vlan = Some v)
+  && (match (t.vlan, e.vlan) with
+     | None, _ -> true
+     | Some v, Some w -> Int.equal v w
+     | Some _, None -> false)
   &&
   match e.payload with
   | Packet.Arp _ ->
       (* IP-layer pins cannot match an ARP frame. *)
-      t.src_ip = None && t.dst_ip = None && t.protocol = None
-      && t.src_port = None && t.dst_port = None
+      Option.is_none t.src_ip && Option.is_none t.dst_ip
+      && Option.is_none t.protocol && Option.is_none t.src_port
+      && Option.is_none t.dst_port
   | Packet.Ipv4 p ->
       (not t.arp_only)
       && field_ok Ipv4.equal t.src_ip p.src_ip

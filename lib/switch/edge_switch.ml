@@ -1,6 +1,7 @@
 open Lazyctrl_net
 open Lazyctrl_sim
 open Lazyctrl_openflow
+module Det = Lazyctrl_util.Det
 
 type msg = Proto.t Message.t
 
@@ -211,10 +212,12 @@ let apply_advert_to_gfib t (d : Proto.lfib_delta) =
     else Gfib.apply_advert t.gfib d.origin ~added:d.added ~removed:d.removed
 
 let take_own_intensity t =
+  (* Sorted by remote switch id so the report payload (and hence the
+     simulation's event stream) is independent of hash-bucket layout. *)
   let pairs =
-    Hashtbl.fold
-      (fun remote count acc -> (Ids.Switch_id.of_int remote, count) :: acc)
-      t.intensity []
+    List.map
+      (fun (remote, count) -> (Ids.Switch_id.of_int remote, count))
+      (Det.bindings_sorted ~cmp:Int.compare t.intensity)
   in
   Hashtbl.reset t.intensity;
   pairs
@@ -226,10 +229,10 @@ let send_state_report t =
       merge_intensity t t.self (take_own_intensity t);
       let ds = t.designated_state in
       let intensity =
-        Hashtbl.fold
-          (fun (a, b) count acc ->
-            (Ids.Switch_id.of_int a, Ids.Switch_id.of_int b, count) :: acc)
-          ds.buffered_intensity []
+        List.map
+          (fun ((a, b), count) ->
+            (Ids.Switch_id.of_int a, Ids.Switch_id.of_int b, count))
+          (Det.bindings_sorted ~cmp:Det.pair_compare ds.buffered_intensity)
       in
       let deltas = List.rev ds.buffered_deltas in
       ds.buffered_deltas <- [];
@@ -242,7 +245,7 @@ let send_member_report t =
   | None -> ()
   | Some c ->
       let pairs = take_own_intensity t in
-      if pairs <> [] then
+      if not (List.is_empty pairs) then
         t.env.send_peer c.designated
           (Message.Extension (Proto.Member_report { origin = t.self; intensity = pairs }))
 
@@ -250,7 +253,7 @@ let send_member_report t =
 
 let advert_of_pending t =
   let added, removed = Lfib.take_pending t.lfib in
-  if added = [] && removed = [] then None
+  if List.is_empty added && List.is_empty removed then None
   else Some { Proto.origin = t.self; added; removed; full = false }
 
 let send_advert t (d : Proto.lfib_delta) =
@@ -298,8 +301,8 @@ let designated_group_arp t ~origin packet =
   let unknown_here =
     match eth.payload with
     | Packet.Arp { op = Packet.Request; target_ip; _ } ->
-        Lfib.lookup_ip t.lfib target_ip = None
-        && Gfib.candidates_ip t.gfib target_ip = []
+        Option.is_none (Lfib.lookup_ip t.lfib target_ip)
+        && List.is_empty (Gfib.candidates_ip t.gfib target_ip)
     | _ -> false
   in
   if unknown_here then

@@ -60,7 +60,9 @@ let take_pending t =
   t.pending_removed <- [];
   (added, removed)
 
-let has_pending t = t.pending_added <> [] || t.pending_removed <> []
+let has_pending t =
+  (not (List.is_empty t.pending_added))
+  || not (List.is_empty t.pending_removed)
 
 let all_keys t = List.map key_of (hosts t)
 

@@ -4,6 +4,18 @@ module Message = Lazyctrl_openflow.Message
 
 type host_key = { mac : Mac.t; ip : Ipv4.t; tenant : Ids.Tenant_id.t }
 
+(* Keyed comparisons so host keys never go through polymorphic [=]:
+   mac is the primary key; ip/tenant disambiguate re-used MACs in tests. *)
+let host_key_compare a b =
+  match Mac.compare a.mac b.mac with
+  | 0 -> (
+      match Ipv4.compare a.ip b.ip with
+      | 0 -> Ids.Tenant_id.compare a.tenant b.tenant
+      | c -> c)
+  | c -> c
+
+let host_key_equal a b = Int.equal (host_key_compare a b) 0
+
 (* Tag the two key spaces apart in the low bit; MACs are 48-bit and IPs
    32-bit, so the shifted values stay well inside 62 bits. *)
 let mac_key m = (Mac.to_int m lsl 1) lor 1

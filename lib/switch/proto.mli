@@ -12,6 +12,11 @@ type host_key = { mac : Mac.t; ip : Ipv4.t; tenant : Ids.Tenant_id.t }
 (** The identity tuple tracked by L-FIBs and disseminated between
     switches. *)
 
+val host_key_compare : host_key -> host_key -> int
+val host_key_equal : host_key -> host_key -> bool
+(** Keyed comparisons (mac, then ip, then tenant) — prefer these to
+    polymorphic [=] on host keys. *)
+
 val mac_key : Mac.t -> int
 (** Bloom-filter key for a MAC (tagged apart from the IP key space). *)
 

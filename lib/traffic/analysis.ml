@@ -3,10 +3,11 @@ open Lazyctrl_net
 open Lazyctrl_graph
 open Lazyctrl_topo
 module Prng = Lazyctrl_util.Prng
+module Det = Lazyctrl_util.Det
 
 let host_graph trace =
   let b = Wgraph.Builder.create ~n:(Trace.n_hosts trace) in
-  Hashtbl.iter
+  Det.iter_sorted ~cmp:Det.pair_compare
     (fun (s, d) count -> Wgraph.Builder.add_edge b s d (Float.of_int count))
     (Trace.pair_flow_counts trace);
   Wgraph.Builder.build b
@@ -33,7 +34,7 @@ let switch_intensity ?from ?until ?exclude_hosts ~topo trace =
         end
       end);
   let b = Wgraph.Builder.create ~n:(Topology.n_switches topo) in
-  Hashtbl.iter
+  Det.iter_sorted ~cmp:Det.pair_compare
     (fun (s, d) c -> Wgraph.Builder.add_edge b s d (Float.of_int c /. span_s))
     counts;
   Wgraph.Builder.build b
@@ -42,7 +43,8 @@ let skew trace ~top_fraction =
   if top_fraction <= 0.0 || top_fraction > 1.0 then
     invalid_arg "Analysis.skew: fraction outside (0,1]";
   let counts =
-    Trace.pair_flow_counts trace |> Hashtbl.to_seq_values |> Array.of_seq
+    Det.bindings_sorted ~cmp:Det.pair_compare (Trace.pair_flow_counts trace)
+    |> List.map snd |> Array.of_list
   in
   if Array.length counts = 0 then 0.0
   else begin
@@ -74,7 +76,7 @@ let centrality_per_group trace ~assignment ~k =
         touching.(gd) <- touching.(gd) +. 0.5
       end);
   Array.init k (fun g ->
-      if touching.(g) = 0.0 then nan else intra.(g) /. touching.(g))
+      if Float.equal touching.(g) 0.0 then nan else intra.(g) /. touching.(g))
 
 let avg_centrality ~rng ~k trace =
   let g = host_graph trace in
@@ -113,8 +115,13 @@ let high_fanout_hosts trace ~fraction =
       note s d;
       note d s);
   let ranked =
-    Hashtbl.fold (fun h tbl acc -> (h, Hashtbl.length tbl) :: acc) peers []
-    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+    (* Sort by fan-out descending, host id ascending: without the id
+       tie-break the cut line between equal counts is hash-order noise. *)
+    Det.fold_sorted ~cmp:Int.compare
+      (fun h tbl acc -> (h, Hashtbl.length tbl) :: acc)
+      peers []
+    |> List.sort (fun (h1, a) (h2, b) ->
+           match Int.compare b a with 0 -> Int.compare h1 h2 | c -> c)
   in
   let want =
     max 1 (int_of_float (Float.of_int (List.length ranked) *. fraction))

@@ -1,0 +1,36 @@
+(* Deterministic views over unordered hash tables.
+
+   [Hashtbl] iteration order depends on the table's internal layout
+   (insertion history, resizes, and — across OCaml versions or with
+   [Hashtbl.randomize] — the hash seed), so any [Hashtbl.iter]/[fold]
+   whose body emits events, accumulates floats, or otherwise observes
+   order is a reproducibility hazard.  These helpers snapshot the key
+   set, sort it with an explicit comparator, and only then apply the
+   visitor, so the traversal order is a pure function of the table's
+   contents. *)
+
+let sorted_keys ~cmp tbl =
+  (* lazyctrl-lint D001: the one sanctioned raw fold — it only collects
+     keys, and the caller's visit order comes from the sort below. *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.sort_uniq cmp keys
+
+let iter_sorted ~cmp f tbl =
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt tbl k with Some v -> f k v | None -> ())
+    (sorted_keys ~cmp tbl)
+
+let fold_sorted ~cmp f tbl init =
+  List.fold_left
+    (fun acc k ->
+      match Hashtbl.find_opt tbl k with Some v -> f k v acc | None -> acc)
+    init (sorted_keys ~cmp tbl)
+
+let bindings_sorted ~cmp tbl =
+  List.rev (fold_sorted ~cmp (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* Lexicographic comparator for the [(int * int)] keys used by the
+   intensity matrices and peer-channel maps. *)
+let pair_compare (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c

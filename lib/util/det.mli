@@ -1,0 +1,33 @@
+(** Deterministic views over unordered hash tables.
+
+    [Hashtbl] traversal order depends on internal bucket layout (insertion
+    history, resizes, hash seed), so any iteration whose body emits events,
+    accumulates floats, or otherwise observes order is a reproducibility
+    hazard — lazyctrl-lint rule [D001-hashtbl-order]. These helpers
+    snapshot the key set, sort it with an explicit comparator, and only
+    then visit, making traversal order a pure function of table contents. *)
+
+val sorted_keys : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** Distinct keys, sorted by [cmp]. *)
+
+val iter_sorted :
+  cmp:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [iter_sorted ~cmp f tbl] visits bindings in ascending key order.
+    Mutating [tbl] inside [f] is safe: the key set is snapshotted first
+    (keys removed by [f] before their visit are skipped). *)
+
+val fold_sorted :
+  cmp:('k -> 'k -> int) ->
+  ('k -> 'v -> 'acc -> 'acc) ->
+  ('k, 'v) Hashtbl.t ->
+  'acc ->
+  'acc
+(** Fold in ascending key order. *)
+
+val bindings_sorted :
+  cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings as a list in ascending key order. *)
+
+val pair_compare : int * int -> int * int -> int
+(** Lexicographic comparator for the [(int * int)] keys used by the
+    intensity matrices and peer-channel maps. *)

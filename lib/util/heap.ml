@@ -101,7 +101,7 @@ module Indexed = struct
      determinism. *)
   let before t i j =
     let ki = t.heap.(i) and kj = t.heap.(j) in
-    let c = compare t.prio.(kj) t.prio.(ki) in
+    let c = Float.compare t.prio.(kj) t.prio.(ki) in
     if c <> 0 then c < 0 else ki < kj
 
   let rec sift_up t i =

@@ -100,7 +100,7 @@ module Reservoir = struct
     if t.filled = 0 then nan
     else begin
       let a = Array.sub t.sample 0 t.filled in
-      Array.sort compare a;
+      Array.sort Float.compare a;
       percentile_of_sorted a p
     end
 

@@ -1,0 +1,335 @@
+(* lazyctrl-lint rule tests: every rule family gets at least one fixture
+   that must trigger it and one that must stay clean. *)
+
+open Lazyctrl_analysis
+
+let lint ?(file = "lib/fixture/fixture.ml") src =
+  fst (Driver.lint_source ~file ~src)
+
+let rules_of findings = List.map (fun (f : Finding.t) -> f.rule) findings
+
+let has rule findings = List.exists (String.equal rule) (rules_of findings)
+
+let check_triggers name rule src =
+  Alcotest.test_case name `Quick (fun () ->
+      let fs = lint src in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s triggers on fixture" rule)
+        true (has rule fs))
+
+let check_clean name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let fs = lint src in
+      Alcotest.(check (list string)) "no findings" [] (rules_of fs))
+
+(* --- determinism rules ----------------------------------------------------- *)
+
+let d001_tests =
+  [
+    check_triggers "Hashtbl.iter flagged" Rules.d_hashtbl_order
+      "let f tbl = Hashtbl.iter (fun k _ -> print_int k) tbl";
+    check_triggers "Tbl.fold on keyed table flagged" Rules.d_hashtbl_order
+      "let f t = Ids.Switch_id.Tbl.fold (fun k _ acc -> k :: acc) t []";
+    check_triggers "Hashtbl.to_seq_values flagged" Rules.d_hashtbl_order
+      "let f tbl = Array.of_seq (Hashtbl.to_seq_values tbl)";
+    check_clean "fold piped into List.sort is sanctioned"
+      "let f tbl =\n\
+      \  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare";
+    check_clean "sort applied directly to fold is sanctioned"
+      "let f tbl =\n\
+      \  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])";
+    check_clean "Det.iter_sorted is the endorsed spelling"
+      "let f tbl = Lazyctrl_util.Det.iter_sorted ~cmp:Int.compare ignore tbl";
+    check_triggers "fold without a sort sink still flagged"
+      Rules.d_hashtbl_order
+      "let f tbl =\n\
+      \  let l = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in\n\
+      \  List.sort Int.compare l";
+  ]
+
+let d002_tests =
+  [
+    check_triggers "Random.int flagged" Rules.d_raw_random
+      "let x () = Random.int 10";
+    check_triggers "Random.self_init flagged" Rules.d_raw_random
+      "let () = Random.self_init ()";
+    Alcotest.test_case "prng.ml sanctuary" `Quick (fun () ->
+        let fs = lint ~file:"lib/util/prng.ml" "let x () = Random.int 10" in
+        Alcotest.(check bool)
+          "Random allowed inside the PRNG module" false
+          (has Rules.d_raw_random fs));
+    check_clean "seeded Prng stream is clean"
+      "let x rng = Lazyctrl_util.Prng.int rng 10";
+  ]
+
+let d003_tests =
+  [
+    check_triggers "Unix.gettimeofday flagged" Rules.d_wall_clock
+      "let t () = Unix.gettimeofday ()";
+    check_triggers "Sys.time flagged" Rules.d_wall_clock
+      "let t () = Sys.time ()";
+    Alcotest.test_case "time.ml sanctuary" `Quick (fun () ->
+        let fs = lint ~file:"lib/sim/time.ml" "let t () = Sys.time ()" in
+        Alcotest.(check bool)
+          "host clocks allowed inside Time" false (has Rules.d_wall_clock fs));
+    check_clean "virtual time is clean" "let t engine = Engine.now engine";
+  ]
+
+let d004_tests =
+  [
+    check_triggers "float-literal equality flagged" Rules.d_float_eq
+      "let b x = x = 0.0";
+    check_triggers "negative float literal flagged" Rules.d_float_eq
+      "let b x = x <> -1.5";
+    check_clean "Float.equal is clean" "let b x = Float.equal x 0.0";
+    check_clean "record literal with float field is not an equality"
+      "let s = { stray_fraction = 0.05 }";
+    check_clean "tolerance comparison is clean"
+      "let b x = Float.abs (x -. 1.0) < 1e-9";
+  ]
+
+(* --- abstraction rules ----------------------------------------------------- *)
+
+let a001_tests =
+  [
+    check_triggers "bare compare flagged" Rules.a_poly_compare
+      "let c a b = compare a b";
+    check_triggers "List.sort compare flagged" Rules.a_poly_compare
+      "let f l = List.sort compare l";
+    check_clean "Int.compare is clean" "let c a b = Int.compare a b";
+    check_clean "Mac.compare is clean" "let c a b = Mac.compare a b";
+  ]
+
+let a002_tests =
+  [
+    check_triggers "Hashtbl.hash flagged" Rules.a_poly_hash
+      "let h k = Hashtbl.hash k";
+    check_clean "keyed hash is clean" "let h k = Mac.hash k";
+  ]
+
+let a003_tests =
+  [
+    check_triggers "= None flagged" Rules.a_poly_eq "let b x = x = None";
+    check_triggers "<> [] flagged" Rules.a_poly_eq "let b l = l <> []";
+    check_triggers "keyed field equality flagged" Rules.a_poly_eq
+      "let b (h : Host.t) m = h.mac = m";
+    check_clean "Option.is_none is clean" "let b x = Option.is_none x";
+    check_clean "List.is_empty is clean" "let b l = List.is_empty l";
+    check_clean "keyed equal is clean"
+      "let b (h : Host.t) m = Mac.equal h.mac m";
+  ]
+
+(* --- token fallback -------------------------------------------------------- *)
+
+let parse_structure src =
+  match Parse_ml.parse ~file:"fixture.ml" ~src with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "fixture did not parse: %s" msg
+
+let token_tests =
+  [
+    Alcotest.test_case "unparsable file falls back to tokens" `Quick
+      (fun () ->
+        let src = "let f tbl = ( in Hashtbl.iter g tbl\nlet t = Sys.time ()" in
+        let findings, err =
+          Driver.lint_source ~file:"lib/fixture/broken.ml" ~src
+        in
+        Alcotest.(check bool) "parse failed" true (Option.is_some err);
+        Alcotest.(check bool)
+          "token D001 found" true
+          (has Rules.d_hashtbl_order findings);
+        Alcotest.(check bool)
+          "token D003 found" true (has Rules.d_wall_clock findings));
+    Alcotest.test_case "unparsable but hazard-free file is clean" `Quick
+      (fun () ->
+        let src = "let f = ) nonsense here (" in
+        let findings, err =
+          Driver.lint_source ~file:"lib/fixture/broken.ml" ~src
+        in
+        Alcotest.(check bool) "parse failed" true (Option.is_some err);
+        Alcotest.(check (list string)) "no findings" [] (rules_of findings));
+    Alcotest.test_case "hazards inside comments and strings ignored" `Quick
+      (fun () ->
+        let src =
+          "let f = ( in\n\
+           (* Hashtbl.iter would be bad *)\n\
+           let s = \"Sys.time ()\""
+        in
+        let findings, _ = Driver.lint_source ~file:"lib/fixture/b.ml" ~src in
+        Alcotest.(check (list string)) "no findings" [] (rules_of findings));
+  ]
+
+(* --- protocol rules -------------------------------------------------------- *)
+
+let good_infer =
+  "type verdict = Healthy | Control_link_failure | Peer_link_up_failure\n\
+   | Peer_link_down_failure | Switch_failure | Ambiguous\n\
+   let infer = function\n\
+   | { up_lost = false; down_lost = false; ctrl_lost = false } -> Healthy\n\
+   | { up_lost = false; down_lost = false; ctrl_lost = true } -> \
+   Control_link_failure\n\
+   | { up_lost = true; down_lost = false; ctrl_lost = false } -> \
+   Peer_link_up_failure\n\
+   | { up_lost = false; down_lost = true; ctrl_lost = false } -> \
+   Peer_link_down_failure\n\
+   | { up_lost = true; down_lost = true; ctrl_lost = true } -> Switch_failure\n\
+   | _ -> Ambiguous\n"
+
+let swapped_infer =
+  "let infer = function\n\
+   | { up_lost = false; down_lost = false; ctrl_lost = false } -> Healthy\n\
+   | { up_lost = false; down_lost = false; ctrl_lost = true } -> \
+   Switch_failure\n\
+   | _ -> Ambiguous\n"
+
+let incomplete_infer =
+  "let infer = function\n\
+   | { up_lost = false; down_lost = false; ctrl_lost = false } -> Healthy\n\
+   | { up_lost = true; down_lost = true; ctrl_lost = true } -> Switch_failure\n"
+
+let dead_case_infer =
+  "let infer = function\n\
+   | _ -> Ambiguous\n\
+   | { up_lost = false; down_lost = false; ctrl_lost = false } -> Healthy\n"
+
+let p001_tests =
+  [
+    Alcotest.test_case "faithful Table I passes" `Quick (fun () ->
+        let fs =
+          Proto_rules.check_failover ~file:"f.ml" (parse_structure good_infer)
+        in
+        Alcotest.(check (list string)) "no findings" [] (rules_of fs));
+    Alcotest.test_case "swapped verdict caught" `Quick (fun () ->
+        let fs =
+          Proto_rules.check_failover ~file:"f.ml"
+            (parse_structure swapped_infer)
+        in
+        Alcotest.(check bool) "mismatch reported" true
+          (has Rules.p_failover_table fs));
+    Alcotest.test_case "uncovered observation caught" `Quick (fun () ->
+        let fs =
+          Proto_rules.check_failover ~file:"f.ml"
+            (parse_structure incomplete_infer)
+        in
+        Alcotest.(check bool) "coverage gap reported" true
+          (has Rules.p_failover_table fs));
+    Alcotest.test_case "dead case caught" `Quick (fun () ->
+        let fs =
+          Proto_rules.check_failover ~file:"f.ml"
+            (parse_structure dead_case_infer)
+        in
+        Alcotest.(check bool) "dead case reported" true
+          (has Rules.p_failover_table fs));
+    Alcotest.test_case "missing infer reported" `Quick (fun () ->
+        let fs =
+          Proto_rules.check_failover ~file:"f.ml" (parse_structure "let x = 1")
+        in
+        Alcotest.(check bool) "absence reported" true
+          (has Rules.p_failover_table fs));
+  ]
+
+let proto_fixture =
+  "type t = Group_config of int | Keepalive | Ring_alarm of int"
+
+let full_handler =
+  "let handle = function\n\
+   | Group_config c -> c\n\
+   | Keepalive -> 0\n\
+   | Ring_alarm n -> n\n"
+
+let gappy_handler =
+  "let handle = function Group_config c -> c | _ -> 0"
+
+let p002_tests =
+  [
+    Alcotest.test_case "full dispatcher passes" `Quick (fun () ->
+        let fs =
+          Proto_rules.check_coverage
+            ~proto:("p.ml", parse_structure proto_fixture)
+            ~handlers:[ ("h.ml", parse_structure full_handler) ]
+            ()
+        in
+        Alcotest.(check (list string)) "no findings" [] (rules_of fs));
+    Alcotest.test_case "wildcard does not count as handling" `Quick (fun () ->
+        let fs =
+          Proto_rules.check_coverage
+            ~proto:("p.ml", parse_structure proto_fixture)
+            ~handlers:[ ("h.ml", parse_structure gappy_handler) ]
+            ()
+        in
+        let missing =
+          List.filter (fun (f : Finding.t) ->
+              String.equal f.rule Rules.p_proto_coverage)
+            fs
+        in
+        Alcotest.(check int) "two constructors unhandled" 2
+          (List.length missing));
+    Alcotest.test_case "the real protocol stays covered" `Quick (fun () ->
+        (* Guard against the shipped dispatchers regressing: this is the
+           exact whole-program check the @lint alias runs. *)
+        let root = "../" in
+        if Sys.file_exists (Filename.concat root "lib/switch/proto.ml") then
+          let fs = Driver.protocol_findings ~root in
+          Alcotest.(check (list string)) "no findings" [] (rules_of fs));
+  ]
+
+(* --- allowlist ------------------------------------------------------------- *)
+
+let allowlist_tests =
+  [
+    Alcotest.test_case "entry suppresses a matching finding" `Quick (fun () ->
+        let allow, errs =
+          Allowlist.parse_string ~file:"allow"
+            "lib/util/det.ml D001-hashtbl-order sanctioned primitive\n"
+        in
+        Alcotest.(check (list string)) "well-formed" [] (rules_of errs);
+        Alcotest.(check bool) "permits matching file+rule" true
+          (Allowlist.permits allow ~file:"lib/util/det.ml"
+             ~rule:Rules.d_hashtbl_order);
+        Alcotest.(check bool) "other rule not permitted" false
+          (Allowlist.permits allow ~file:"lib/util/det.ml"
+             ~rule:Rules.d_raw_random);
+        Alcotest.(check (list string)) "no stale entries" []
+          (rules_of (Allowlist.unused allow)));
+    Alcotest.test_case "justification is mandatory" `Quick (fun () ->
+        let _, errs =
+          Allowlist.parse_string ~file:"allow"
+            "lib/util/det.ml D001-hashtbl-order\n"
+        in
+        Alcotest.(check int) "malformed entry reported" 1 (List.length errs));
+    Alcotest.test_case "unknown rule id rejected" `Quick (fun () ->
+        let _, errs =
+          Allowlist.parse_string ~file:"allow" "lib/a.ml D999-nope because\n"
+        in
+        Alcotest.(check int) "unknown rule reported" 1 (List.length errs));
+    Alcotest.test_case "stale entries surfaced" `Quick (fun () ->
+        let allow, _ =
+          Allowlist.parse_string ~file:"allow"
+            "lib/never.ml D001-hashtbl-order obsolete\n"
+        in
+        Alcotest.(check int) "one stale entry" 1
+          (List.length (Allowlist.unused allow)));
+    Alcotest.test_case "comments and blanks ignored" `Quick (fun () ->
+        let allow, errs =
+          Allowlist.parse_string ~file:"allow" "# comment\n\n  \n"
+        in
+        Alcotest.(check (list string)) "no errors" [] (rules_of errs);
+        Alcotest.(check int) "no entries" 0
+          (List.length (Allowlist.unused allow)));
+  ]
+
+let () =
+  Alcotest.run "lazyctrl-lint"
+    [
+      ("D001-hashtbl-order", d001_tests);
+      ("D002-raw-random", d002_tests);
+      ("D003-wall-clock", d003_tests);
+      ("D004-float-eq", d004_tests);
+      ("A001-poly-compare", a001_tests);
+      ("A002-poly-hash", a002_tests);
+      ("A003-poly-eq", a003_tests);
+      ("token-fallback", token_tests);
+      ("P001-failover-table", p001_tests);
+      ("P002-proto-coverage", p002_tests);
+      ("allowlist", allowlist_tests);
+    ]
