@@ -1,4 +1,4 @@
-.PHONY: all build test lint bench clean
+.PHONY: all build test lint lint-json bench clean
 
 all: build
 
@@ -12,6 +12,14 @@ test:
 # Just the static analysis (also part of `make test`).
 lint:
 	dune build @lint
+
+# Machine-readable lint report (does not fail on findings; inspect the
+# "clean" field).  Written to _build/lint-report.json.
+lint-json:
+	dune build bin/lazyctrl_lint.exe
+	./_build/default/bin/lazyctrl_lint.exe --root . --json \
+	  > _build/lint-report.json || true
+	@echo "wrote _build/lint-report.json"
 
 bench:
 	dune exec bench/main.exe

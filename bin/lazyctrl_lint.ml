@@ -3,13 +3,37 @@
 
    Exit status: 0 when no gating findings, 1 otherwise, 2 on usage error. *)
 
-let usage = "lazyctrl_lint [--root DIR] [--allow FILE] [--json] [--rules]"
+let usage =
+  "lazyctrl_lint [--root DIR] [--allow FILE] [--json] [--rules FAMILIES] \
+   [--list-rules]"
 
 let () =
   let root = ref "." in
   let allow = ref ".lazyctrl-lint-allow" in
   let json = ref false in
   let list_rules = ref false in
+  let families = ref None in
+  let set_families s =
+    let fs =
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun f -> not (String.equal f ""))
+      |> List.map String.uppercase_ascii
+    in
+    if List.is_empty fs then begin
+      Printf.eprintf "--rules needs at least one family (e.g. --rules E,L)\n";
+      exit 2
+    end;
+    List.iter
+      (fun f ->
+        if not (Lazyctrl_analysis.Rules.is_family f) then begin
+          Printf.eprintf "unknown rule family '%s' (known: %s)\n" f
+            (String.concat "," Lazyctrl_analysis.Rules.families);
+          exit 2
+        end)
+      fs;
+    families := Some fs
+  in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR repository root to scan (default .)");
@@ -18,7 +42,11 @@ let () =
         "FILE allowlist path (default .lazyctrl-lint-allow, relative to \
          --root)" );
       ("--json", Arg.Set json, " emit the report as JSON");
-      ("--rules", Arg.Set list_rules, " list rule identifiers and exit");
+      ( "--rules",
+        Arg.String set_families,
+        "FAMILIES comma-separated rule families to run (subset of \
+         D,A,P,E,L,X; default all)" );
+      ("--list-rules", Arg.Set list_rules, " list rule identifiers and exit");
     ]
   in
   Arg.parse spec
@@ -34,7 +62,9 @@ let () =
     if Filename.is_relative !allow then Filename.concat !root !allow
     else !allow
   in
-  let report = Lazyctrl_analysis.Driver.run ~root:!root ~allow_path in
+  let report =
+    Lazyctrl_analysis.Driver.run ?families:!families ~root:!root ~allow_path ()
+  in
   let open Lazyctrl_analysis in
   if !json then print_string (Driver.report_to_json report)
   else begin

@@ -88,11 +88,14 @@ let permits t ~file ~rule =
     t.entries;
   !matched
 
-(* Stale entries: non-gating, but surfaced so they get pruned. *)
-let unused t =
+(* Stale entries: non-gating, but surfaced so they get pruned.  [relevant]
+   restricts staleness to entries whose rule actually ran this invocation
+   (under a [--rules] family filter an unmatched entry is not stale — its
+   rule never had the chance to fire). *)
+let unused ?(relevant = fun _ -> true) t =
   List.filter_map
     (fun e ->
-      if e.used then None
+      if e.used || not (relevant e.rule) then None
       else
         Some
           (Finding.make ~file:t.file ~line:e.line ~rule:"allowlist"

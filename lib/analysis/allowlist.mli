@@ -1,0 +1,26 @@
+(** The allowlist file (.lazyctrl-lint-allow) suppresses individual
+    findings that are deliberate.  One entry per line:
+
+    {v <repo-relative-path> <RULE-ID> <justification...> v}
+
+    The justification is mandatory — an entry without one is itself a
+    gating finding, so the allowlist cannot silently rot into a blanket
+    mute. *)
+
+type t
+
+(** Parse allowlist text; returns the table plus findings for malformed
+    entries (reported under the pseudo-rule "allowlist"). *)
+val parse_string : file:string -> string -> t * Finding.t list
+
+(** Load from disk; a missing file is an empty allowlist. *)
+val load : string -> t * Finding.t list
+
+(** Does the allowlist permit (file, rule)?  Matching entries are marked
+    used for {!unused}. *)
+val permits : t -> file:string -> rule:string -> bool
+
+(** Stale entries as warnings.  [relevant] restricts staleness to
+    entries whose rule family actually ran this invocation (under a
+    [--rules] filter, an unmatched entry is not stale). *)
+val unused : ?relevant:(string -> bool) -> t -> Finding.t list

@@ -1,0 +1,4 @@
+(** Per-file determinism (D00x) and abstraction-safety (A00x) rules over
+    a Parsetree, including sort-sink sanctioning of hash-table folds. *)
+
+val scan : file:string -> Parsetree.structure -> Finding.t list

@@ -1,0 +1,12 @@
+(** Interface hygiene (X00x): X001 dead exports — a [val] in a library
+    .mli no other scanned file (tests included) ever names; X002 missing
+    interfaces — a [lib/] .ml with no adjacent .mli.  Resolution is
+    conservative: opaque module uses keep every export live. *)
+
+(** [dead_exports cg ~intfs] checks each parsed interface (repo-relative
+    .mli path, signature) against the reference index. *)
+val dead_exports :
+  Callgraph.t -> intfs:(string * Parsetree.signature) list -> Finding.t list
+
+val missing_mli :
+  ml_files:string list -> mli_files:string list -> Finding.t list

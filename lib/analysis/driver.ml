@@ -1,19 +1,31 @@
-(* Lint driver: walks the source tree, runs the Parsetree rules (with a
-   token-level fallback for unparsable files) and the whole-program
-   protocol checks, then filters the result through the allowlist. *)
+(* Lint driver: walks the source tree, parses every file ONCE into a
+   shared cache, then feeds the same Parsetrees to all consumers — the
+   per-file rules (with a token-level fallback for unparsable files),
+   the whole-program protocol checks, and the call-graph passes (effect
+   inference, layering, interface hygiene) — and filters the result
+   through the allowlist.
+
+   Family scoping: [families] restricts which rule families run (the
+   CLI's [--rules D,E,...] flag).  Per-file AST scanning still runs
+   whenever the E family is selected, because effect inference seeds
+   from the D-rule hazard sites; its findings are then filtered to the
+   selected families.  Allowlist entries whose family did not run are
+   exempt from staleness (they never had the chance to match). *)
 
 type report = {
   findings : Finding.t list;  (* gating: unallowlisted + malformed allowlist *)
   suppressed : Finding.t list;  (* matched by an allowlist entry *)
   stale : Finding.t list;  (* allowlist entries that matched nothing *)
   files_scanned : int;
-  parse_failures : (string * string) list;  (* file, parser message *)
+  parse_failures : (string * string) list;  (* file, parser message — once *)
 }
 
-(* Directories scanned for per-file rules.  [test/] is deliberately out of
-   scope: fixtures there exercise the rules and tests may use structural
-   equality on concrete types freely. *)
+(* Directories scanned for findings.  [test/] is scanned reference-only:
+   its uses keep library exports alive for X001, but fixtures there
+   exercise the rules and may use structural equality freely, so it
+   never yields findings. *)
 let scan_dirs = [ "lib"; "bin"; "bench"; "examples" ]
+let aux_dirs = [ "test" ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -24,9 +36,9 @@ let read_file path =
 
 let is_dir path = try Sys.is_directory path with Sys_error _ -> false
 
-(* Repo-relative .ml paths under [rel], in sorted order (Sys.readdir order
-   is platform-dependent). *)
-let rec ml_files_under ~root rel acc =
+(* Repo-relative files with [suffix] under [rel], in sorted order
+   (Sys.readdir order is platform-dependent). *)
+let rec files_under ~root ~suffix rel acc =
   let abs = Filename.concat root rel in
   if not (is_dir abs) then acc
   else begin
@@ -35,8 +47,9 @@ let rec ml_files_under ~root rel acc =
     Array.fold_left
       (fun acc name ->
         let rel' = rel ^ "/" ^ name in
-        if is_dir (Filename.concat abs name) then ml_files_under ~root rel' acc
-        else if Rules.has_suffix ~suffix:".ml" name then rel' :: acc
+        if is_dir (Filename.concat abs name) then
+          files_under ~root ~suffix rel' acc
+        else if Rules.has_suffix ~suffix name then rel' :: acc
         else acc)
       acc names
   end
@@ -48,34 +61,51 @@ let lint_source ~file ~src =
   | Ok structure -> (Ast_rules.scan ~file structure, None)
   | Error msg -> (Token_rules.scan ~file ~src, Some msg)
 
+(* --- parse cache ----------------------------------------------------------- *)
+
+type cached = {
+  c_file : string;
+  c_src : string;
+  c_parse : (Parsetree.structure, string) result;
+}
+
+let parse_cached ~root rel =
+  let src = read_file (Filename.concat root rel) in
+  { c_file = rel; c_src = src; c_parse = Parse_ml.parse ~file:rel ~src }
+
+let cache_find cache rel =
+  List.find_opt (fun c -> String.equal c.c_file rel) cache
+
 (* --- whole-program protocol checks ---------------------------------------- *)
 
 let proto_file = "lib/switch/proto.ml"
 let failover_file = "lib/controller/failover.ml"
 let handler_files = [ "lib/switch/edge_switch.ml"; "lib/controller/controller.ml" ]
 
-let parse_rel ~root rel =
-  let abs = Filename.concat root rel in
-  if not (Sys.file_exists abs) then
-    Error (Printf.sprintf "%s does not exist" rel)
-  else
-    match Parse_ml.parse ~file:rel ~src:(read_file abs) with
-    | Ok s -> Ok s
-    | Error msg -> Error (Printf.sprintf "%s does not parse: %s" rel msg)
+(* Structure for [rel] out of the shared cache: the protocol checks are
+   consumers of the same single parse as everything else. *)
+let structure_of cache rel =
+  match cache_find cache rel with
+  | None -> Error (Printf.sprintf "%s does not exist" rel)
+  | Some { c_parse = Ok s; _ } -> Ok s
+  | Some { c_parse = Error _; _ } ->
+      (* the parse failure itself is already reported once, in
+         [parse_failures]; here only the consequence is stated *)
+      Error (Printf.sprintf "%s does not parse" rel)
 
-let protocol_findings ~root =
+let protocol_findings_cached cache =
   let fail ~rule msg =
     [ Finding.make ~file:"." ~line:1 ~rule ~severity:Finding.Error msg ]
   in
   let failover =
-    match parse_rel ~root failover_file with
+    match structure_of cache failover_file with
     | Ok s -> Proto_rules.check_failover ~file:failover_file s
     | Error msg ->
         fail ~rule:Rules.p_failover_table
           (Printf.sprintf "cannot verify the failure-inference table: %s" msg)
   in
   let coverage =
-    match parse_rel ~root proto_file with
+    match structure_of cache proto_file with
     | Error msg ->
         fail ~rule:Rules.p_proto_coverage
           (Printf.sprintf "cannot verify message coverage: %s" msg)
@@ -83,7 +113,7 @@ let protocol_findings ~root =
         let handlers, errors =
           List.fold_left
             (fun (hs, errs) rel ->
-              match parse_rel ~root rel with
+              match structure_of cache rel with
               | Ok s -> ((rel, s) :: hs, errs)
               | Error msg ->
                   ( hs,
@@ -99,27 +129,121 @@ let protocol_findings ~root =
   in
   failover @ coverage
 
+(* Convenience for tests: parse the protocol files under [root] and run
+   the same checks the @lint alias runs. *)
+let protocol_findings ~root =
+  let rels = proto_file :: failover_file :: handler_files in
+  let cache =
+    List.filter_map
+      (fun rel ->
+        if Sys.file_exists (Filename.concat root rel) then
+          Some (parse_cached ~root rel)
+        else None)
+      rels
+  in
+  protocol_findings_cached cache
+
 (* --- entry point ----------------------------------------------------------- *)
 
-let run ~root ~allow_path =
+let run ?(families = Rules.families) ~root ~allow_path () =
+  let sel f = List.exists (String.equal f) families in
+  let selected (finding : Finding.t) =
+    String.equal finding.rule "allowlist"
+    || sel (Rules.family_of finding.rule)
+  in
   let allow, allow_findings = Allowlist.load allow_path in
   let files =
-    List.concat_map (fun d -> ml_files_under ~root d []) scan_dirs
+    List.concat_map (fun d -> files_under ~root ~suffix:".ml" d []) scan_dirs
     |> List.sort String.compare
   in
-  let parse_failures = ref [] in
-  let per_file =
-    List.concat_map
-      (fun rel ->
-        let src = read_file (Filename.concat root rel) in
-        let findings, err = lint_source ~file:rel ~src in
-        (match err with
-        | Some msg -> parse_failures := (rel, msg) :: !parse_failures
-        | None -> ());
-        findings)
-      files
+  let cache = List.map (parse_cached ~root) files in
+  let parse_failures =
+    List.filter_map
+      (fun c ->
+        match c.c_parse with
+        | Ok _ -> None
+        | Error msg -> Some (c.c_file, msg))
+      cache
   in
-  let all = per_file @ protocol_findings ~root in
+  (* Per-file pass: AST findings are computed whenever D/A or E runs (E
+     seeds from the D hazard sites) and reported under D/A. *)
+  let need_ast = sel "D" || sel "A" || sel "E" in
+  let ast_findings =
+    if not need_ast then []
+    else
+      List.filter_map
+        (fun c ->
+          match c.c_parse with
+          | Ok s -> Some (c.c_file, Ast_rules.scan ~file:c.c_file s)
+          | Error _ -> None)
+        cache
+  in
+  let token_findings =
+    if not (sel "D" || sel "A") then []
+    else
+      List.concat_map
+        (fun c ->
+          match c.c_parse with
+          | Ok _ -> []
+          | Error _ -> Token_rules.scan ~file:c.c_file ~src:c.c_src)
+        cache
+  in
+  let per_file = List.concat_map snd ast_findings @ token_findings in
+  let proto = if sel "P" then protocol_findings_cached cache else [] in
+  (* Whole-program passes over the shared call graph. *)
+  let whole_program =
+    if not (sel "E" || sel "L" || sel "X") then []
+    else begin
+      let parsed =
+        List.filter_map
+          (fun c ->
+            match c.c_parse with Ok s -> Some (c.c_file, s) | Error _ -> None)
+          cache
+      in
+      let aux =
+        List.concat_map
+          (fun d -> files_under ~root ~suffix:".ml" d [])
+          aux_dirs
+        |> List.sort String.compare
+        |> List.filter_map (fun rel ->
+               match (parse_cached ~root rel).c_parse with
+               | Ok s -> Some (rel, s)
+               | Error _ -> None (* reference-only files fail silently *))
+      in
+      let cg = Callgraph.build ~files:parsed ~aux in
+      let e =
+        if sel "E" then Effects.findings (Effects.infer cg ~ast_findings)
+        else []
+      in
+      let l = if sel "L" then Layering.check cg else [] in
+      let x =
+        if sel "X" then begin
+          let mli_files =
+            List.concat_map
+              (fun d -> files_under ~root ~suffix:".mli" d [])
+              scan_dirs
+            |> List.sort String.compare
+          in
+          let intfs =
+            List.filter_map
+              (fun rel ->
+                let src = read_file (Filename.concat root rel) in
+                match Parse_ml.parse_intf ~file:rel ~src with
+                | Ok s -> Some (rel, s)
+                | Error _ -> None (* the .ml parse failure already reported *))
+              mli_files
+          in
+          Deadcode.dead_exports cg ~intfs
+          @ Deadcode.missing_mli ~ml_files:files ~mli_files
+        end
+        else []
+      in
+      e @ l @ x
+    end
+  in
+  let all =
+    List.filter selected (per_file @ proto @ whole_program)
+  in
   let suppressed, gating =
     List.partition
       (fun (f : Finding.t) -> Allowlist.permits allow ~file:f.file ~rule:f.rule)
@@ -128,36 +252,38 @@ let run ~root ~allow_path =
   {
     findings = List.sort Finding.compare (allow_findings @ gating);
     suppressed = List.sort Finding.compare suppressed;
-    stale = Allowlist.unused allow;
+    stale =
+      Allowlist.unused ~relevant:(fun rule -> sel (Rules.family_of rule)) allow;
     files_scanned = List.length files;
-    parse_failures = List.rev !parse_failures;
+    parse_failures;
   }
 
 let clean report = List.is_empty report.findings
 
 let report_to_json report =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"findings\": [";
+  let emit_list name findings tail =
+    Buffer.add_string buf (Printf.sprintf "\"%s\": [" name);
+    List.iteri
+      (fun i f ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf "\n    ";
+        Buffer.add_string buf (Finding.to_json f))
+      findings;
+    Buffer.add_string buf "\n  ]";
+    Buffer.add_string buf tail
+  in
+  Buffer.add_string buf "{\n  ";
+  emit_list "findings" report.findings ",\n  ";
+  emit_list "suppressed" report.suppressed ",\n  ";
+  emit_list "stale_allowlist" report.stale ",\n  ";
+  Buffer.add_string buf "\"parse_failures\": [";
   List.iteri
-    (fun i f ->
+    (fun i (file, _) ->
       if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf "\n    ";
-      Buffer.add_string buf (Finding.to_json f))
-    report.findings;
-  Buffer.add_string buf "\n  ],\n  \"suppressed\": [";
-  List.iteri
-    (fun i f ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf "\n    ";
-      Buffer.add_string buf (Finding.to_json f))
-    report.suppressed;
-  Buffer.add_string buf "\n  ],\n  \"stale_allowlist\": [";
-  List.iteri
-    (fun i f ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf "\n    ";
-      Buffer.add_string buf (Finding.to_json f))
-    report.stale;
+      Buffer.add_string buf
+        (Printf.sprintf "\n    \"%s\"" (Finding.json_escape file)))
+    report.parse_failures;
   Buffer.add_string buf
     (Printf.sprintf "\n  ],\n  \"files_scanned\": %d,\n  \"clean\": %b\n}"
        report.files_scanned (clean report));

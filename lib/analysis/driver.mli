@@ -1,0 +1,34 @@
+(** Lint driver: walks the source tree, parses every file once into a
+    shared cache, feeds the same Parsetrees to the per-file rules, the
+    protocol checks and the call-graph passes, and filters the result
+    through the allowlist. *)
+
+type report = {
+  findings : Finding.t list;
+      (** gating: unallowlisted + malformed allowlist entries *)
+  suppressed : Finding.t list;  (** matched by an allowlist entry *)
+  stale : Finding.t list;  (** allowlist entries that matched nothing *)
+  files_scanned : int;
+  parse_failures : (string * string) list;
+      (** (file, parser message), each file reported once *)
+}
+
+(** Per-file rules on one source: Parsetree pass, or the token fallback
+    when the file does not parse (the parse error is returned too). *)
+val lint_source :
+  file:string -> src:string -> Finding.t list * string option
+
+(** Protocol checks against the tree under [root] — the same checks the
+    @lint alias runs, exposed for tests. *)
+val protocol_findings : root:string -> Finding.t list
+
+(** Run the full lint.  [families] (default all of {!Rules.families})
+    restricts which rule families run and which allowlist entries can be
+    stale. *)
+val run :
+  ?families:string list -> root:string -> allow_path:string -> unit -> report
+
+(** No gating findings. *)
+val clean : report -> bool
+
+val report_to_json : report -> string

@@ -1,0 +1,292 @@
+(* Interprocedural effect inference (E00x).
+
+   Every top-level definition gets an effect signature over the lattice
+   {Rng, Clock, Unordered, Mutation, Io} (sets ordered by inclusion).
+   Signatures are seeded at known primitives — the same classifications
+   the per-file D-rules use, so a sort-sanctioned [Hashtbl.fold] is not a
+   seed — and propagated transitively over the Callgraph, so a
+   [lib/util] helper that reads [Sys.time] taints every caller that can
+   reach it, however many hops away.
+
+   Sanctuary modules are *barriers*: [lib/util/prng.ml] legitimately
+   draws raw randomness (that is the seeded PRNG), [lib/sim/time.ml] may
+   touch host clocks, and [lib/util/det.ml]'s key-snapshot fold erases
+   traversal order with an explicit sort.  Their effects do not
+   propagate to callers — going through them is precisely the endorsed
+   route — while a direct seed anywhere else leaks to every caller.
+
+   Only Rng, Clock and Unordered gate (rules E001/E002/E003, mirroring
+   D002/D003/D001).  Mutation and Io are inferred and reported through
+   [signature_of] for tooling, but an event-driven simulator mutates
+   state and the experiment harnesses print; flagging those would be
+   noise. *)
+
+type eff = Rng | Clock | Unordered | Mutation | Io
+
+let eff_name = function
+  | Rng -> "rng"
+  | Clock -> "clock"
+  | Unordered -> "unordered-iteration"
+  | Mutation -> "mutation"
+  | Io -> "io"
+
+let all_effects = [ Rng; Clock; Unordered; Mutation; Io ]
+
+module ESet = struct
+  type t = int
+
+  let empty = 0
+  let bit = function Rng -> 1 | Clock -> 2 | Unordered -> 4 | Mutation -> 8 | Io -> 16
+  let add e s = s lor bit e
+  let mem e s = s land bit e <> 0
+  let diff a b = a land lnot b
+  let to_list s = List.filter (fun e -> mem e s) all_effects
+end
+
+(* Where an effect entered a definition's signature: directly at a
+   primitive, or inherited from a callee. *)
+type provenance = Seed of string | Inherited of string (* callee def id *)
+
+type sig_ = { effects : ESet.t; direct : ESet.t }
+
+type table = {
+  cg : Callgraph.t;
+  sigs : (string, sig_) Hashtbl.t;  (* def id -> signature *)
+  prov : (string, provenance) Hashtbl.t;  (* def id ^ "/" ^ eff -> provenance *)
+}
+
+(* --- barriers -------------------------------------------------------------- *)
+
+let barrier_mask file =
+  let m = ref ESet.empty in
+  if Rules.random_sanctuary file then m := ESet.add Rng !m;
+  if Rules.clock_sanctuary file then m := ESet.add Clock !m;
+  if Rules.order_sanctuary file then m := ESet.add Unordered !m;
+  !m
+
+(* --- seeds ----------------------------------------------------------------- *)
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | p -> p
+
+let mutation_modules = [ "Queue"; "Stack"; "Buffer"; "Bytes"; "Atomic" ]
+
+let hashtbl_mutators =
+  [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace" ]
+
+let array_mutators = [ "set"; "unsafe_set"; "fill"; "blit"; "sort" ]
+
+let is_mutation_path path =
+  match strip_stdlib path with
+  | [ op ] -> List.exists (String.equal op) [ ":="; "incr"; "decr" ]
+  | m :: rest -> (
+      List.exists (String.equal m) mutation_modules
+      || match (m, List.rev rest) with
+         | "Hashtbl", op :: _ | "Tbl", op :: _ ->
+             List.exists (String.equal op) hashtbl_mutators
+         | "Array", op :: _ | "Float_array", op :: _ ->
+             List.exists (String.equal op) array_mutators
+         | _ -> false)
+  | [] -> false
+
+let io_prefixed =
+  [ "print_"; "prerr_"; "output_"; "open_in"; "open_out" ]
+
+let io_bare = [ "read_line"; "read_int"; "flush"; "close_in"; "close_out" ]
+
+let io_modules = [ "Out_channel"; "In_channel" ]
+
+let is_io_path path =
+  match strip_stdlib path with
+  | [ f ] ->
+      List.exists (fun p -> Callgraph.has_prefix ~prefix:p f) io_prefixed
+      || List.exists (String.equal f) io_bare
+  | m :: rest -> (
+      List.exists (String.equal m) io_modules
+      || match (m, List.rev rest) with
+         | ("Printf" | "Format"), op :: _ ->
+             List.exists (String.equal op) [ "printf"; "eprintf" ]
+         | "Sys", op :: _ -> String.equal op "command"
+         | _ -> false)
+  | [] -> false
+
+(* Gating seeds come from the per-file AST findings (pre-allowlist), so
+   the effect pass agrees exactly with the D-rules on what counts as a
+   hazard — including the sort-sink sanctioning. *)
+let eff_of_rule rule =
+  if String.equal rule Rules.d_raw_random then Some Rng
+  else if String.equal rule Rules.d_wall_clock then Some Clock
+  else if String.equal rule Rules.d_hashtbl_order then Some Unordered
+  else None
+
+let seed_label = function
+  | Rng -> "a raw Random draw"
+  | Clock -> "a host clock read"
+  | Unordered -> "an unordered Hashtbl traversal"
+  | Mutation -> "a state mutation"
+  | Io -> "channel I/O"
+
+(* --- inference ------------------------------------------------------------- *)
+
+let prov_key id e = id ^ "/" ^ eff_name e
+
+let infer cg ~ast_findings =
+  let sigs = Hashtbl.create 512 in
+  let prov = Hashtbl.create 512 in
+  (* direct seeds *)
+  List.iter
+    (fun fi ->
+      if not fi.Callgraph.f_aux then
+        List.iter
+          (fun (d : Callgraph.def) ->
+            let direct = ref ESet.empty in
+            let seed e =
+              if not (ESet.mem e !direct) then begin
+                direct := ESet.add e !direct;
+                Hashtbl.replace prov
+                  (prov_key d.Callgraph.d_id e)
+                  (Seed (seed_label e))
+              end
+            in
+            if d.Callgraph.d_mutates then seed Mutation;
+            List.iter
+              (fun (raw, _, _) ->
+                if is_mutation_path raw then seed Mutation;
+                if is_io_path raw then seed Io)
+              d.Callgraph.d_refs;
+            Hashtbl.replace sigs d.Callgraph.d_id
+              { effects = !direct; direct = !direct })
+          fi.Callgraph.f_defs)
+    (Callgraph.files cg);
+  List.iter
+    (fun (file, findings) ->
+      List.iter
+        (fun (f : Finding.t) ->
+          match eff_of_rule f.rule with
+          | None -> ()
+          | Some e -> (
+              match
+                Callgraph.def_spanning cg ~file ~line:f.line ~col:f.col
+              with
+              | None -> ()
+              | Some d ->
+                  let id = d.Callgraph.d_id in
+                  let s =
+                    match Hashtbl.find_opt sigs id with
+                    | Some s -> s
+                    | None -> { effects = ESet.empty; direct = ESet.empty }
+                  in
+                  if not (ESet.mem e s.direct) then begin
+                    Hashtbl.replace prov (prov_key id e) (Seed (seed_label e));
+                    Hashtbl.replace sigs id
+                      {
+                        effects = ESet.add e s.effects;
+                        direct = ESet.add e s.direct;
+                      }
+                  end))
+        findings)
+    ast_findings;
+  let t = { cg; sigs; prov } in
+  (* propagate to a fixpoint, smallest callee id wins the witness *)
+  let exported id =
+    match Hashtbl.find_opt sigs id with
+    | None -> ESet.empty
+    | Some s -> (
+        match Callgraph.find_def cg id with
+        | None -> s.effects
+        | Some d -> ESet.diff s.effects (barrier_mask d.Callgraph.d_file))
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        let s =
+          match Hashtbl.find_opt sigs id with
+          | Some s -> s
+          | None -> { effects = ESet.empty; direct = ESet.empty }
+        in
+        let incoming = ref s.effects in
+        List.iter
+          (fun callee ->
+            let ex = exported callee in
+            List.iter
+              (fun e ->
+                if ESet.mem e ex && not (ESet.mem e !incoming) then begin
+                  incoming := ESet.add e !incoming;
+                  Hashtbl.replace prov (prov_key id e) (Inherited callee)
+                end)
+              all_effects)
+          (Callgraph.callees cg id);
+        if not (Int.equal !incoming s.effects) then begin
+          Hashtbl.replace sigs id { s with effects = !incoming };
+          changed := true
+        end)
+      (Callgraph.def_ids cg)
+  done;
+  t
+
+(* --- queries & findings ---------------------------------------------------- *)
+
+let signature_of t id =
+  match Hashtbl.find_opt t.sigs id with
+  | Some s -> List.map eff_name (ESet.to_list s.effects)
+  | None -> []
+
+let rec chain t id e ~depth =
+  if depth > 8 then [ "..." ]
+  else
+    match Hashtbl.find_opt t.prov (prov_key id e) with
+    | Some (Seed label) -> [ label ]
+    | Some (Inherited callee) -> callee :: chain t callee e ~depth:(depth + 1)
+    | None -> []
+
+let finding_rule = function
+  | Rng -> Some (Rules.e_indirect_random, Finding.Error)
+  | Clock -> Some (Rules.e_indirect_clock, Finding.Error)
+  | Unordered -> Some (Rules.e_indirect_order, Finding.Warning)
+  | Mutation | Io -> None
+
+let advice = function
+  | Rng -> "draw from a Lazyctrl_util.Prng stream instead"
+  | Clock -> "simulated code must stay on Engine.now / Lazyctrl_sim.Time"
+  | Unordered ->
+      "sort before observing, or go through Lazyctrl_util.Det at the source"
+  | Mutation | Io -> ""
+
+let findings t =
+  let out = ref [] in
+  List.iter
+    (fun fi ->
+      if not fi.Callgraph.f_aux then
+        List.iter
+          (fun (d : Callgraph.def) ->
+            match Hashtbl.find_opt t.sigs d.Callgraph.d_id with
+            | None -> ()
+            | Some s ->
+                let inherited = ESet.diff s.effects s.direct in
+                let blocked = barrier_mask d.Callgraph.d_file in
+                List.iter
+                  (fun e ->
+                    match finding_rule e with
+                    | None -> ()
+                    | Some (rule, severity) ->
+                        if ESet.mem e inherited && not (ESet.mem e blocked)
+                        then
+                          let path =
+                            String.concat " -> "
+                              (d.Callgraph.d_id
+                               :: chain t d.Callgraph.d_id e ~depth:0)
+                          in
+                          out :=
+                            Finding.make ~file:d.Callgraph.d_file
+                              ~line:d.Callgraph.d_line ~col:d.Callgraph.d_col
+                              ~rule ~severity
+                              (Printf.sprintf
+                                 "indirectly reaches %s through the call \
+                                  graph: %s; %s"
+                                 (seed_label e) path (advice e))
+                            :: !out)
+                  all_effects)
+          fi.Callgraph.f_defs)
+    (Callgraph.files t.cg);
+  List.sort Finding.compare !out

@@ -1,0 +1,13 @@
+(** Parse .ml/.mli sources into Parsetrees via compiler-libs. *)
+
+(** Parse an implementation; [Error msg] lets the driver fall back to
+    token scanning. *)
+val parse :
+  file:string -> src:string -> (Parsetree.structure, string) result
+
+(** Parse an interface (.mli). *)
+val parse_intf :
+  file:string -> src:string -> (Parsetree.signature, string) result
+
+val line_of : Location.t -> int
+val col_of : Location.t -> int

@@ -6,7 +6,13 @@
    - A00x: abstraction safety — polymorphic structural compare/equal/hash
      applied where a keyed module exports dedicated operations.
    - P00x: protocol invariants — the wheel failure-inference table and the
-     controller/switch message grammar stay total and consistent. *)
+     controller/switch message grammar stay total and consistent.
+   - E00x: interprocedural effects — nondeterminism reached *indirectly*
+     through helpers, inferred over the cross-module call graph.
+   - L00x: layering — the declared architecture spec, including the
+     paper's control-plane separation (switch never leans on controller
+     internals; the controller drives switches only through Proto).
+   - X00x: interface hygiene — dead exports and missing .mli files. *)
 
 let d_hashtbl_order = "D001-hashtbl-order"
 let d_raw_random = "D002-raw-random"
@@ -17,6 +23,13 @@ let a_poly_hash = "A002-poly-hash"
 let a_poly_eq = "A003-poly-eq"
 let p_failover_table = "P001-failover-table"
 let p_proto_coverage = "P002-proto-coverage"
+let e_indirect_random = "E001-indirect-random"
+let e_indirect_clock = "E002-indirect-clock"
+let e_indirect_order = "E003-indirect-hashtbl-order"
+let l_layering = "L001-layering"
+let l_lazy_separation = "L002-lazy-separation"
+let x_dead_export = "X001-dead-export"
+let x_missing_mli = "X002-missing-mli"
 
 let all =
   [
@@ -29,9 +42,25 @@ let all =
     a_poly_eq;
     p_failover_table;
     p_proto_coverage;
+    e_indirect_random;
+    e_indirect_clock;
+    e_indirect_order;
+    l_layering;
+    l_lazy_separation;
+    x_dead_export;
+    x_missing_mli;
   ]
 
 let is_known r = List.exists (String.equal r) all
+
+(* Rule families, selectable with the CLI's [--rules] flag.  The family of
+   a rule is the leading letter of its identifier; "allowlist" diagnostics
+   (malformed entries) are not a family and always gate. *)
+let families = [ "D"; "A"; "P"; "E"; "L"; "X" ]
+let is_family f = List.exists (String.equal f) families
+
+let family_of rule =
+  if String.length rule > 0 then String.sub rule 0 1 else rule
 
 let has_suffix ~suffix s =
   let ls = String.length s and lx = String.length suffix in
@@ -45,6 +74,12 @@ let random_sanctuary file = has_suffix ~suffix:"lib/util/prng.ml" file
    not today — simulated time is purely virtual — but the carve-out keeps
    the rule meaningful if a real-time bridge is ever added there.) *)
 let clock_sanctuary file = has_suffix ~suffix:"lib/sim/time.ml" file
+
+(* The one module whose raw hash-table folds are sanctioned: Det's
+   key-snapshot primitives erase bucket order with an explicit sort, so
+   the effect pass treats it as a barrier — reaching unordered iteration
+   *through* Det is the endorsed route. *)
+let order_sanctuary file = has_suffix ~suffix:"lib/util/det.ml" file
 
 (* Record fields whose comparison with polymorphic [=] almost certainly
    wants the keyed module's [equal] instead. *)

@@ -1,0 +1,6 @@
+(** Degraded token-level scan for files the parser rejects: comments and
+    strings are blanked, then known hazard spellings are matched
+    textually.  Coarser than {!Ast_rules} but keeps unparsable files
+    from escaping the lint entirely. *)
+
+val scan : file:string -> src:string -> Finding.t list

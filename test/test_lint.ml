@@ -318,6 +318,330 @@ let allowlist_tests =
           (List.length (Allowlist.unused allow)));
   ]
 
+(* --- call graph ------------------------------------------------------------ *)
+
+let parse_file file src = (file, parse_structure src)
+
+let parse_intf file src =
+  match Parse_ml.parse_intf ~file ~src with
+  | Ok s -> (file, s)
+  | Error msg -> Alcotest.failf "fixture interface did not parse: %s" msg
+
+(* A miniature repo exercising every resolution form the simulator uses:
+   sibling modules, [open Lazyctrl_x], file-local aliases, and absolute
+   wrapper paths — plus the two deliberate violations the ISSUE calls
+   for: a lib/switch -> controller-internal call and an indirect
+   [Sys.time] reach. *)
+let fixture_files () =
+  [
+    parse_file "lib/util/helper.ml"
+      "let stamp () = Sys.time ()\nlet double x = 2 * x";
+    parse_file "lib/util/a.ml" "let base x = x + 1\nlet unused_thing = 3";
+    parse_file "lib/util/b.ml" "let via x = A.base x";
+    parse_file "lib/graph/c.ml"
+      "module H = Lazyctrl_util.A\nlet go () = H.base 9";
+    parse_file "lib/switch/edge_switch.ml" "let lfib t = t";
+    parse_file "lib/switch/proto.ml" "let size_estimate _ = 0";
+    parse_file "lib/switch/edge_helper.ml"
+      "let tick () = Lazyctrl_util.Helper.stamp ()\n\
+       let clean x = Lazyctrl_util.Helper.double x";
+    parse_file "lib/switch/bad.ml"
+      "let poke c = Lazyctrl_controller.Controller.stats c";
+    parse_file "lib/controller/bad2.ml"
+      "open Lazyctrl_switch\n\
+       let peek t = Edge_switch.lfib t\n\
+       let ok m = Proto.size_estimate m";
+    parse_file "bin/tool.ml"
+      "open Lazyctrl_util\nlet run () = B.via 3\nlet drive () = run ()";
+  ]
+
+let fixture_cg () = Callgraph.build ~files:(fixture_files ()) ~aux:[]
+
+let callees_of cg id =
+  match Callgraph.find_def cg id with
+  | None -> Alcotest.failf "no def %s" id
+  | Some _ -> Callgraph.callees cg id
+
+let has_callee cg id callee =
+  List.exists (String.equal callee) (callees_of cg id)
+
+let callgraph_tests =
+  [
+    Alcotest.test_case "sibling module reference resolves" `Quick (fun () ->
+        let cg = fixture_cg () in
+        Alcotest.(check bool) "B.via -> A.base" true
+          (has_callee cg "Lazyctrl_util.B.via" "Lazyctrl_util.A.base"));
+    Alcotest.test_case "open-scoped reference resolves" `Quick (fun () ->
+        let cg = fixture_cg () in
+        Alcotest.(check bool) "tool.run -> B.via" true
+          (has_callee cg "Tool.run" "Lazyctrl_util.B.via"));
+    Alcotest.test_case "file-local alias resolves" `Quick (fun () ->
+        let cg = fixture_cg () in
+        Alcotest.(check bool) "C.go -> A.base via alias" true
+          (has_callee cg "Lazyctrl_graph.C.go" "Lazyctrl_util.A.base"));
+    Alcotest.test_case "absolute wrapper path resolves" `Quick (fun () ->
+        let cg = fixture_cg () in
+        Alcotest.(check bool) "edge_helper.tick -> Helper.stamp" true
+          (has_callee cg "Lazyctrl_switch.Edge_helper.tick"
+             "Lazyctrl_util.Helper.stamp"));
+    Alcotest.test_case "same-file reference resolves" `Quick (fun () ->
+        let cg = fixture_cg () in
+        Alcotest.(check bool) "tool.drive -> tool.run" true
+          (has_callee cg "Tool.drive" "Tool.run"));
+    Alcotest.test_case "defs carry their file" `Quick (fun () ->
+        let cg = fixture_cg () in
+        let defs = Callgraph.defs_of_file cg "lib/util/a.ml" in
+        Alcotest.(check bool) "a.ml defines base" true
+          (List.exists
+             (fun (d : Callgraph.def) ->
+               String.equal d.Callgraph.d_id "Lazyctrl_util.A.base")
+             defs));
+  ]
+
+(* --- E00x: transitive effects ---------------------------------------------- *)
+
+let fixture_effects () =
+  let files = fixture_files () in
+  let cg = Callgraph.build ~files ~aux:[] in
+  let ast_findings =
+    List.map (fun (file, s) -> (file, Ast_rules.scan ~file s)) files
+  in
+  Effects.infer cg ~ast_findings
+
+let effect_findings_on file fs =
+  List.filter (fun (f : Finding.t) -> String.equal f.file file) fs
+
+let effects_tests =
+  [
+    Alcotest.test_case "indirect Sys.time reach caught one hop away" `Quick
+      (fun () ->
+        let fs = Effects.findings (fixture_effects ()) in
+        let on = effect_findings_on "lib/switch/edge_helper.ml" fs in
+        Alcotest.(check bool) "E002 on the switch helper" true
+          (has Rules.e_indirect_clock on));
+    Alcotest.test_case "direct-clean twin stays clean" `Quick (fun () ->
+        let t = fixture_effects () in
+        Alcotest.(check (list string)) "Helper.double has no effects" []
+          (Effects.signature_of t "Lazyctrl_util.Helper.double");
+        (* the [clean] def calls only the pure twin, so no finding lands
+           on its line *)
+        let fs = Effects.findings t in
+        Alcotest.(check bool) "no finding at the clean def" false
+          (List.exists
+             (fun (f : Finding.t) ->
+               String.equal f.file "lib/switch/edge_helper.ml" && f.line = 2)
+             fs));
+    Alcotest.test_case "effect signature of the root is direct" `Quick
+      (fun () ->
+        let t = fixture_effects () in
+        Alcotest.(check bool) "Helper.stamp carries clock" true
+          (List.exists (String.equal "clock")
+             (Effects.signature_of t "Lazyctrl_util.Helper.stamp"));
+        (* the root's use is direct, the D-rule's business — the E rule
+           must not double-report it *)
+        let fs = Effects.findings t in
+        Alcotest.(check (list string)) "no E finding on helper.ml" []
+          (rules_of (effect_findings_on "lib/util/helper.ml" fs)));
+    Alcotest.test_case "barriers absorb their sanctioned effect" `Quick
+      (fun () ->
+        let files =
+          [
+            parse_file "lib/util/prng.ml" "let draw () = Random.int 10";
+            parse_file "lib/util/user.ml" "let f () = Prng.draw ()";
+          ]
+        in
+        let cg = Callgraph.build ~files ~aux:[] in
+        let ast_findings =
+          List.map (fun (file, s) -> (file, Ast_rules.scan ~file s)) files
+        in
+        let t = Effects.infer cg ~ast_findings in
+        Alcotest.(check (list string))
+          "no E001 through the seeded PRNG" []
+          (rules_of (Effects.findings t)));
+  ]
+
+(* --- L00x: layering -------------------------------------------------------- *)
+
+let layering_tests =
+  [
+    Alcotest.test_case "switch -> controller internals caught" `Quick
+      (fun () ->
+        let fs = Layering.check (fixture_cg ()) in
+        Alcotest.(check bool) "L002 on lib/switch/bad.ml" true
+          (List.exists
+             (fun (f : Finding.t) ->
+               String.equal f.file "lib/switch/bad.ml"
+               && String.equal f.rule Rules.l_lazy_separation)
+             fs));
+    Alcotest.test_case "controller -> switch internals caught, Proto exempt"
+      `Quick (fun () ->
+        let fs = Layering.check (fixture_cg ()) in
+        let on_bad2 =
+          List.filter
+            (fun (f : Finding.t) ->
+              String.equal f.file "lib/controller/bad2.ml")
+            fs
+        in
+        Alcotest.(check bool) "L002 for Edge_switch reference" true
+          (has Rules.l_lazy_separation on_bad2);
+        Alcotest.(check bool) "no finding for the Proto reference" false
+          (List.exists (fun (f : Finding.t) -> f.line = 3) on_bad2));
+    Alcotest.test_case "undeclared lib dependency caught" `Quick (fun () ->
+        let files =
+          [ parse_file "lib/util/leak.ml" "let z = Lazyctrl_sim.Time.zero" ]
+        in
+        let cg = Callgraph.build ~files ~aux:[] in
+        Alcotest.(check bool) "L001 on util -> sim" true
+          (has Rules.l_layering (Layering.check cg)));
+    Alcotest.test_case "declared dependencies stay silent" `Quick (fun () ->
+        (* the fixture repo's only violations are the two deliberate ones *)
+        let fs = Layering.check (fixture_cg ()) in
+        Alcotest.(check int) "exactly the two planted violations" 2
+          (List.length fs));
+    Alcotest.test_case "spec sanity: analysis depends on nothing" `Quick
+      (fun () ->
+        Alcotest.(check (list string)) "no deps declared" []
+          (Option.value ~default:[ "missing" ]
+             (List.assoc_opt "analysis" Layering.allowed_deps));
+        Alcotest.(check bool) "Proto is the controller surface" true
+          (List.exists (String.equal "Proto")
+             Layering.controller_switch_surface));
+  ]
+
+(* --- X00x: interface hygiene ----------------------------------------------- *)
+
+let deadcode_tests =
+  [
+    Alcotest.test_case "dead export caught, live export spared" `Quick
+      (fun () ->
+        let cg = fixture_cg () in
+        let intfs =
+          [
+            parse_intf "lib/util/a.mli"
+              "val base : int -> int\nval unused_thing : int";
+          ]
+        in
+        let fs = Deadcode.dead_exports cg ~intfs in
+        Alcotest.(check int) "one dead export" 1 (List.length fs);
+        Alcotest.(check bool) "it is unused_thing" true
+          (List.exists
+             (fun (f : Finding.t) ->
+               String.equal f.rule Rules.x_dead_export && f.line = 2)
+             fs));
+    Alcotest.test_case "test-suite references keep exports alive" `Quick
+      (fun () ->
+        let files =
+          [ parse_file "lib/util/a.ml" "let base x = x + 1" ]
+        in
+        let aux =
+          [ parse_file "test/test_a.ml"
+              "let () = ignore (Lazyctrl_util.A.base 1)" ]
+        in
+        let cg = Callgraph.build ~files ~aux in
+        let intfs = [ parse_intf "lib/util/a.mli" "val base : int -> int" ] in
+        Alcotest.(check (list string)) "no dead exports" []
+          (rules_of (Deadcode.dead_exports cg ~intfs)));
+    Alcotest.test_case "missing .mli flagged for lib only" `Quick (fun () ->
+        let fs =
+          Deadcode.missing_mli
+            ~ml_files:[ "lib/util/a.ml"; "lib/util/b.ml"; "bin/tool.ml" ]
+            ~mli_files:[ "lib/util/a.mli" ]
+        in
+        Alcotest.(check int) "one missing interface" 1 (List.length fs);
+        Alcotest.(check bool) "it is lib/util/b.ml" true
+          (List.exists
+             (fun (f : Finding.t) ->
+               String.equal f.file "lib/util/b.ml"
+               && String.equal f.rule Rules.x_missing_mli)
+             fs));
+  ]
+
+(* --- driver ---------------------------------------------------------------- *)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let with_tmp_tree f =
+  let root = Filename.temp_file "lazyctrl_lint" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  Sys.mkdir (Filename.concat root "lib") 0o755;
+  Sys.mkdir (Filename.concat root "lib/fixlib") 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote root))))
+    (fun () -> f root)
+
+let driver_tests =
+  [
+    Alcotest.test_case "parse failure reported once" `Quick (fun () ->
+        with_tmp_tree (fun root ->
+            write_file
+              (Filename.concat root "lib/fixlib/broken.ml")
+              "let f = ( in Hashtbl.iter g tbl";
+            write_file
+              (Filename.concat root "lib/fixlib/broken.mli")
+              "val f : unit";
+            let allow = Filename.concat root ".allow" in
+            let report = Driver.run ~root ~allow_path:allow () in
+            let failures =
+              List.filter
+                (fun (file, _) -> String.equal file "lib/fixlib/broken.ml")
+                report.Driver.parse_failures
+            in
+            Alcotest.(check int)
+              "one parse-failure record despite per-file, protocol and \
+               whole-program passes all consuming the cache"
+              1 (List.length failures);
+            Alcotest.(check bool) "token fallback still fires" true
+              (has Rules.d_hashtbl_order report.Driver.findings)));
+    Alcotest.test_case "stale allowlist entry reported once" `Quick (fun () ->
+        with_tmp_tree (fun root ->
+            write_file
+              (Filename.concat root "lib/fixlib/ok.ml")
+              "let f x = x + 1";
+            write_file
+              (Filename.concat root "lib/fixlib/ok.mli")
+              "val f : int -> int";
+            let allow = Filename.concat root ".allow" in
+            write_file allow
+              "lib/nowhere.ml D002-raw-random obsolete suppression\n";
+            let report = Driver.run ~root ~allow_path:allow () in
+            Alcotest.(check int) "exactly one stale warning" 1
+              (List.length report.Driver.stale)));
+    Alcotest.test_case "family filter scopes rules and staleness" `Quick
+      (fun () ->
+        with_tmp_tree (fun root ->
+            write_file
+              (Filename.concat root "lib/fixlib/dirty.ml")
+              "let t () = Sys.time ()";
+            (* no .mli: an X002 waiting to fire when X is selected *)
+            let allow = Filename.concat root ".allow" in
+            write_file allow
+              "lib/nowhere.ml X001-dead-export not relevant under --rules D\n";
+            let d_only =
+              Driver.run ~families:[ "D" ] ~root ~allow_path:allow ()
+            in
+            Alcotest.(check bool) "D003 reported" true
+              (has Rules.d_wall_clock d_only.Driver.findings);
+            Alcotest.(check bool) "X002 not reported under D" false
+              (has Rules.x_missing_mli d_only.Driver.findings);
+            Alcotest.(check int)
+              "X allowlist entry not stale when X never ran" 0
+              (List.length d_only.Driver.stale);
+            let x_only =
+              Driver.run ~families:[ "X" ] ~root ~allow_path:allow ()
+            in
+            Alcotest.(check bool) "X002 reported under X" true
+              (has Rules.x_missing_mli x_only.Driver.findings);
+            Alcotest.(check bool) "D003 not reported under X" false
+              (has Rules.d_wall_clock x_only.Driver.findings);
+            Alcotest.(check int) "X entry stale once X runs" 1
+              (List.length x_only.Driver.stale)));
+  ]
+
 let () =
   Alcotest.run "lazyctrl-lint"
     [
@@ -332,4 +656,9 @@ let () =
       ("P001-failover-table", p001_tests);
       ("P002-proto-coverage", p002_tests);
       ("allowlist", allowlist_tests);
+      ("callgraph", callgraph_tests);
+      ("E00x-effects", effects_tests);
+      ("L00x-layering", layering_tests);
+      ("X00x-deadcode", deadcode_tests);
+      ("driver", driver_tests);
     ]
