@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-json bench clean
+.PHONY: all build test lint lint-json bench chaos clean
 
 all: build
 
@@ -23,6 +23,11 @@ lint-json:
 
 bench:
 	dune exec bench/main.exe
+
+# Seeded chaos scenario + the loss-rate sweep (robustness regression).
+chaos:
+	dune exec bin/lazyctrl_cli.exe -- chaos
+	dune exec bench/main.exe -- --quick chaos
 
 clean:
 	dune clean

@@ -67,6 +67,14 @@ let t_table1 () =
   section "Table I — failure inference (end-to-end injection)";
   Table.print (E.Failover_exp.endtoend_table ())
 
+let t_chaos () =
+  section "Chaos sweep — loss rate x state-delivery mode (robustness)";
+  Table.print
+    (E.Chaos_exp.table ?losses:(if !quick then Some [ 0.0; 0.05 ] else None) ());
+  print_endline
+    "(reliable rows must converge with all invariants green; fire-and-forget\n\
+    \ rows show the stale-state window the reliable layer removes)"
+
 let t_coldcache () =
   section "Cold-cache first-packet latency (§V-E)";
   Table.print (E.Coldcache.table ())
@@ -221,6 +229,7 @@ let targets =
     ("fig8", t_fig8);
     ("fig9", t_fig9);
     ("table1", t_table1);
+    ("chaos", t_chaos);
     ("coldcache", t_coldcache);
     ("storage", t_storage);
     ("ablate-size", t_ablate_size);

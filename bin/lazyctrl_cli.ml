@@ -6,6 +6,8 @@
      trace       generate a trace and print its characteristics
      experiment  run one of the paper's tables/figures (same targets as
                  bench/main.exe)
+     chaos       run a seeded multi-fault chaos scenario with lossy
+                 channels and report the convergence invariants
 *)
 
 open Cmdliner
@@ -229,6 +231,11 @@ let experiment name quick =
   | "table1" ->
       print (E.Failover_exp.inference_table ());
       print (E.Failover_exp.endtoend_table ())
+  | "chaos" ->
+      print
+        (E.Chaos_exp.table
+           ?losses:(if quick then Some [ 0.0; 0.05 ] else None)
+           ())
   | "coldcache" -> print (E.Coldcache.table ())
   | "storage" -> print (E.Storage_exp.table ())
   | "ablate-size" -> print (E.Ablation.group_size_table ())
@@ -243,8 +250,9 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME"
           ~doc:
-            "table1 | table2 | fig6a | fig6b | fig7 | fig8 | fig9 | coldcache \
-             | storage | ablate-size | ablate-negotiation | ablate-bloom")
+            "table1 | table2 | fig6a | fig6b | fig7 | fig8 | fig9 | chaos | \
+             coldcache | storage | ablate-size | ablate-negotiation | \
+             ablate-bloom")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller workloads, faster runs.")
@@ -253,9 +261,113 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Re-run one of the paper's tables or figures.")
     Term.(const experiment $ exp_name $ quick)
 
+(* --- chaos ----------------------------------------------------------------- *)
+
+let chaos seed switches tenants loss raw faults window =
+  let module Chaos = Lazyctrl_chaos in
+  let spec =
+    {
+      Chaos.Scenario.default with
+      Chaos.Scenario.n_faults = faults;
+      window = Time.of_sec window;
+    }
+  in
+  let cfg =
+    {
+      Chaos.Runner.default_config with
+      Chaos.Runner.seed;
+      n_switches = switches;
+      n_tenants = tenants;
+      loss;
+      dup = loss /. 5.0;
+      reliable = not raw;
+      spec;
+    }
+  in
+  Printf.printf
+    "chaos: %d switches, %d tenants, %.0f%% loss, %d faults over %ds, state \
+     delivery %s (seed %d)\n%!"
+    switches tenants (100. *. loss) faults window
+    (if raw then "fire-and-forget" else "reliable")
+    seed;
+  let r = Chaos.Runner.run cfg in
+  print_endline "fault schedule:";
+  List.iter
+    (fun e -> Printf.printf "  %s\n" (Format.asprintf "%a" Chaos.Fault.pp_event e))
+    r.Chaos.Runner.events;
+  let l = r.Chaos.Runner.link in
+  Printf.printf
+    "channels: %d sent, %d delivered (%.1f%%), %d lost to chaos, %d duplicated\n"
+    l.Network.links_sent l.Network.links_delivered
+    (100. *. Chaos.Runner.delivery_ratio l)
+    l.Network.links_lost l.Network.links_duplicated;
+  let s = r.Chaos.Runner.reliability in
+  Printf.printf
+    "reliable sessions: %d data sent, %d retransmits, %d dups ignored, %d \
+     give-ups\n"
+    s.Lazyctrl_openflow.Reliable.data_sent
+    s.Lazyctrl_openflow.Reliable.retransmits
+    s.Lazyctrl_openflow.Reliable.dups_ignored
+    s.Lazyctrl_openflow.Reliable.give_ups;
+  print_endline "invariants after settling:";
+  List.iter
+    (fun rep ->
+      Printf.printf "  %s\n" (Format.asprintf "%a" Chaos.Invariant.pp_report rep))
+    r.Chaos.Runner.reports;
+  match r.Chaos.Runner.converged_after with
+  | Some t ->
+      Printf.printf "converged %.1f s after the last repair\n"
+        (Time.to_float_sec t)
+  | None ->
+      print_endline "DID NOT CONVERGE before the settle deadline";
+      exit 1
+
+let chaos_cmd =
+  let loss =
+    Arg.(
+      value & opt float 0.05
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Baseline per-message channel loss probability.")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "fire-and-forget" ]
+          ~doc:"Disable the reliable state-delivery layer (the old path).")
+  in
+  let faults =
+    Arg.(
+      value & opt int 6
+      & info [ "faults" ] ~docv:"N" ~doc:"Number of fault events to inject.")
+  in
+  let window =
+    Arg.(
+      value & opt int 30
+      & info [ "window" ] ~docv:"SECONDS" ~doc:"Fault injection window.")
+  in
+  let switches =
+    Arg.(
+      value & opt int 12
+      & info [ "switches" ] ~docv:"N" ~doc:"Number of edge switches.")
+  in
+  let tenants =
+    Arg.(
+      value & opt int 6 & info [ "tenants" ] ~docv:"N" ~doc:"Number of tenants.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Inject a seeded multi-fault scenario into a lossy network and \
+          check the convergence invariants.")
+    Term.(
+      const chaos $ seed_arg $ switches $ tenants $ loss $ raw $ faults $ window)
+
 let () =
   let info =
     Cmd.info "lazyctrl" ~version:"1.0.0"
       ~doc:"LazyCtrl: scalable hybrid network control (ICDCS 2015) — simulator CLI"
   in
-  exit (Cmd.eval (Cmd.group info [ simulate_cmd; group_cmd; trace_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ simulate_cmd; group_cmd; trace_cmd; experiment_cmd; chaos_cmd ]))

@@ -1,0 +1,123 @@
+(* Chaos walk-through: 30 simulated seconds of a flapping control link on
+   top of lossy channels, narrated through the controller's failover
+   verdicts and the convergence invariants.
+
+     dune exec examples/chaos_demo.exe
+*)
+
+open Lazyctrl_net
+open Lazyctrl_sim
+open Lazyctrl_topo
+open Lazyctrl_core
+open Lazyctrl_controller
+module Chaos = Lazyctrl_chaos
+module ES = Lazyctrl_switch.Edge_switch
+module Prng = Lazyctrl_util.Prng
+module Sid = Ids.Switch_id
+
+let quick_config =
+  {
+    Controller.default_config with
+    Controller.group_size_limit = 6;
+    sync_period = Time.of_sec 10;
+    keepalive_period = Time.of_sec 2;
+    echo_period = Time.of_sec 5;
+    echo_timeout = Time.of_sec 12;
+    daemon_period = Time.of_sec 5;
+    incremental_updates = false;
+    reliable_state = true;
+  }
+
+let () =
+  let topo =
+    Placement.generate ~rng:(Prng.create 17)
+      {
+        Placement.n_switches = 12;
+        n_tenants = 6;
+        tenant_size_min = 10;
+        tenant_size_max = 16;
+        racks_per_tenant = 3;
+        stray_fraction = 0.05;
+      }
+  in
+  let params =
+    {
+      (Params.with_seed 17 Params.default) with
+      Params.control_loss = Some (Lazyctrl_openflow.Channel.uniform_loss 0.05);
+      switch_config =
+        { ES.default_config with ES.reliable_state = true };
+    }
+  in
+  let net =
+    Network.create ~params ~controller_config:quick_config ~mode:Network.Lazy
+      ~topo ~horizon:(Time.of_min 10) ()
+  in
+  Network.bootstrap net ();
+  let controller = Option.get (Network.lazy_controller net) in
+  let engine = Network.engine net in
+  let t0 = ref Time.zero in
+  let stamp () = Time.to_float_sec (Time.diff (Engine.now engine) !t0) in
+  Controller.set_failover_hook controller (fun sw v ->
+      Printf.printf "  %6.1fs  [controller] verdict for sw%d: %s\n" (stamp ())
+        (Sid.to_int sw)
+        (Format.asprintf "%a" Failover.pp_verdict v));
+  Network.run net ~until:(Time.of_sec 20);
+  t0 := Engine.now engine;
+  let target = Sid.of_int 3 in
+  Printf.printf
+    "flapping the control link of sw%d for 30 s (down 4 s, up 2 s, on a 5%%\n\
+     lossy control plane; reliable state delivery on)\n"
+    (Sid.to_int target);
+  (* Flap: down at 0,6,12,18,24; up 4 s later each time. *)
+  for i = 0 to 4 do
+    ignore
+      (Engine.schedule engine
+         ~after:(Time.of_sec (i * 6))
+         (fun () ->
+           Printf.printf "  %6.1fs  [chaos] control link sw%d DOWN\n" (stamp ())
+             (Sid.to_int target);
+           Network.fail_control_link net target));
+    ignore
+      (Engine.schedule engine
+         ~after:(Time.of_sec ((i * 6) + 4))
+         (fun () ->
+           Printf.printf "  %6.1fs  [chaos] control link sw%d UP\n" (stamp ())
+             (Sid.to_int target);
+           Network.repair_control_link net target))
+  done;
+  Network.run net ~until:(Time.add !t0 (Time.of_sec 30));
+  print_endline "flapping over; letting the network settle...";
+  let deadline = Time.add (Engine.now engine) (Time.of_min 2) in
+  let rec settle () =
+    let reports = Chaos.Invariant.check_all net in
+    if Chaos.Invariant.all_ok reports then begin
+      Printf.printf "  %6.1fs  all invariants hold:\n" (stamp ());
+      List.iter
+        (fun r ->
+          Printf.printf "           %s\n"
+            (Format.asprintf "%a" Chaos.Invariant.pp_report r))
+        reports
+    end
+    else if Time.(Engine.now engine >= deadline) then begin
+      print_endline "  did NOT settle; failing invariants:";
+      List.iter
+        (fun (r : Chaos.Invariant.report) ->
+          if not r.Chaos.Invariant.ok then
+            Printf.printf "           %s\n"
+              (Format.asprintf "%a" Chaos.Invariant.pp_report r))
+        reports;
+      exit 1
+    end
+    else begin
+      Network.run net ~until:(Time.add (Engine.now engine) (Time.of_sec 2));
+      settle ()
+    end
+  in
+  settle ();
+  let s = Network.reliability_stats net in
+  Printf.printf
+    "reliable sessions over the run: %d data sent, %d retransmits, %d dups \
+     ignored\n"
+    s.Lazyctrl_openflow.Reliable.data_sent
+    s.Lazyctrl_openflow.Reliable.retransmits
+    s.Lazyctrl_openflow.Reliable.dups_ignored

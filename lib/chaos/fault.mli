@@ -1,0 +1,32 @@
+(** Fault vocabulary for chaos scenarios.
+
+    Each kind maps onto one of {!Lazyctrl_core.Network}'s failure-injection
+    entry points; {!Burst_loss} temporarily replaces the channel loss model
+    on every control and peer link with a harsher one. *)
+
+open Lazyctrl_net
+open Lazyctrl_sim
+
+type kind =
+  | Switch_off     (** power the switch down, power it back up *)
+  | Control_link   (** sever the switch's controller channel, both ways *)
+  | Peer_link      (** sever a peer channel pair *)
+  | Data_path      (** break the one-way underlay path, with notification *)
+  | Burst_loss     (** network-wide loss storm on all control channels *)
+
+val all_kinds : kind list
+val kind_label : kind -> string
+
+type event = {
+  at : Time.t;       (** offset from injection time *)
+  duration : Time.t;
+  kind : kind;
+  primary : Ids.Switch_id.t;
+  secondary : Ids.Switch_id.t;
+      (** the far end for [Peer_link]/[Data_path]; ignored otherwise *)
+}
+
+val repair_at : event -> Time.t
+(** [at + duration], still an offset. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,49 @@
+(** End-to-end chaos run: build a lazy-plane network with lossy channels,
+    apply background traffic and migrations, inject a seeded fault
+    scenario, then poll the convergence invariants until they all hold or
+    a settle deadline passes.
+
+    The whole run — placement, traffic, fault schedule, channel loss — is
+    derived from [config.seed], so two runs with the same config produce
+    byte-identical [fingerprint]s. *)
+
+open Lazyctrl_sim
+open Lazyctrl_openflow
+open Lazyctrl_switch
+open Lazyctrl_controller
+open Lazyctrl_core
+
+type config = {
+  seed : int;
+  n_switches : int;
+  n_tenants : int;
+  loss : float;           (** baseline per-message loss on every channel *)
+  dup : float;
+  reliable : bool;        (** false = the old fire-and-forget state path *)
+  spec : Scenario.spec;
+  migrations : int;
+  flows_per_tenant : int;
+  warmup : Time.t;
+  settle : Time.t;        (** give-up deadline after the last repair *)
+  poll : Time.t;          (** invariant re-check cadence while settling *)
+}
+
+val default_config : config
+(** 12 switches, 6 tenants, 5% loss + 1% duplication, every fault kind,
+    reliable delivery on. *)
+
+type result = {
+  events : Fault.event list;
+  reports : Invariant.report list;   (** from the final check *)
+  converged_after : Time.t option;
+      (** time from last repair to all invariants holding; [None] = never *)
+  link : Network.link_totals;
+  reliability : Reliable.stats;
+  switch_stats : Edge_switch.stats;
+  controller_stats : Controller.stats option;
+  fingerprint : string;
+}
+
+val delivery_ratio : Network.link_totals -> float
+
+val run : config -> result

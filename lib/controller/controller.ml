@@ -33,6 +33,8 @@ type config = {
   flow_idle_timeout : Time.t;
   intensity_decay : float;
   preload_on_regroup : bool;
+  reliable_state : bool;
+  retrans : Reliable.config;
 }
 
 let default_config =
@@ -51,6 +53,8 @@ let default_config =
     flow_idle_timeout = Time.of_min 5;
     intensity_decay = 0.98;
     preload_on_regroup = true;
+    reliable_state = true;
+    retrans = Reliable.default_config;
   }
 
 type stats = {
@@ -77,6 +81,7 @@ type t = {
   monitor : Failover.Monitor.t;
   mutable grouping : Grouping.t option;
   configs : Proto.group_config option array; (* per switch *)
+  sessions : msg Reliable.t option array; (* per-switch reliable sessions *)
   matrix : (int * int, float) Hashtbl.t;
   mutable requests_total : int;
   mutable requests_at_tick : int;
@@ -113,6 +118,7 @@ let create env config ~n_switches =
     monitor = Failover.Monitor.create env.engine ~echo_timeout:config.echo_timeout;
     grouping = None;
     configs = Array.make n_switches None;
+    sessions = Array.make n_switches None;
     matrix = Hashtbl.create 1024;
     requests_total = 0;
     requests_at_tick = 0;
@@ -154,6 +160,29 @@ let request t =
   t.request_hook ()
 
 let send t sw msg = t.env.send_switch sw msg
+
+let session t sw =
+  let i = Sid.to_int sw in
+  match t.sessions.(i) with
+  | Some s -> s
+  | None ->
+      let s =
+        Reliable.create t.env.engine t.config.retrans
+          ~send_data:(fun ~epoch ~seq payload ->
+            send t sw (Message.Extension (Proto.Seq { epoch; seq; payload })))
+          ~send_ack:(fun ~epoch ~cum ->
+            send t sw (Message.Extension (Proto.Ack { epoch; cum })))
+          ~name:(Printf.sprintf "ctrl-sw%d" i) ()
+      in
+      t.sessions.(i) <- Some s;
+      s
+
+(* Group configuration and state sync must survive lossy control links —
+   a switch that misses its [Group_config] stays ungrouped until the next
+   regroup; flow mods / packet outs remain fire-and-forget like OpenFlow. *)
+let send_state t sw msg =
+  if t.config.reliable_state then Reliable.send (session t sw) msg
+  else send t sw msg
 
 let underlay_ip_of sw = Ipv4.of_switch_id (Sid.to_int sw)
 
@@ -276,7 +305,7 @@ let push_group t (cfg : Proto.group_config) =
                ~new_members:cfg.members
          | None -> ());
       t.configs.(Sid.to_int m) <- Some cfg;
-      send t m (Message.Extension (Proto.Group_config cfg)))
+      send_state t m (Message.Extension (Proto.Group_config cfg)))
     cfg.members;
   (* Seed the designated switch with the group's known state so members
      rebuild their G-FIBs (§III-D3 case ii). *)
@@ -290,7 +319,7 @@ let push_group t (cfg : Proto.group_config) =
       cfg.members
   in
   if not (List.is_empty lfibs) then
-    send t cfg.designated (Message.Extension (Proto.Group_sync { lfibs }))
+    send_state t cfg.designated (Message.Extension (Proto.Group_sync { lfibs }))
 
 (* Push configs for groups whose membership changed relative to the
    switches' current configs. *)
@@ -437,22 +466,38 @@ let evaluate_failures t =
         handle_verdict t sw v
       end)
     (Failover.Monitor.sweep t.monitor);
-  (* Clear verdict memory for switches that recovered. *)
+  (* Clear verdict memory for switches that recovered; a control-link
+     failover's relay detour is withdrawn at the same moment, so the
+     switch returns to its own (repaired) control link. *)
   t.last_verdicts <-
     Sid.Map.filter
-      (fun sw _ ->
-        not (Failover.verdict_equal (Failover.Monitor.verdict t.monitor sw) Failover.Healthy))
+      (fun sw prev ->
+        let healthy_now =
+          Failover.verdict_equal
+            (Failover.Monitor.verdict t.monitor sw)
+            Failover.Healthy
+        in
+        if
+          healthy_now
+          && Failover.verdict_equal prev Failover.Control_link_failure
+        then t.env.request_relay sw ~via:None;
+        not healthy_now)
       t.last_verdicts
 
 let switch_recovered t sw =
   t.awaiting_recovery <- Sid.Set.remove sw t.awaiting_recovery;
   Failover.Monitor.ring_recovered t.monitor sw;
+  (* The rebooted switch lost its receive window; start a fresh epoch so
+     our retransmissions are not mistaken for a resumable old stream. *)
+  (match t.sessions.(Sid.to_int sw) with
+  | Some s -> Reliable.reset s
+  | None -> ());
   match t.configs.(Sid.to_int sw) with
   | None -> ()
   | Some cfg ->
       (* §III-E3 (iii): re-deliver the configuration and trigger a state
          synchronization in the group. *)
-      send t sw (Message.Extension (Proto.Group_config cfg));
+      send_state t sw (Message.Extension (Proto.Group_config cfg));
       let lfibs =
         List.filter_map
           (fun m ->
@@ -460,7 +505,7 @@ let switch_recovered t sw =
           cfg.members
       in
       if not (List.is_empty lfibs) then
-        send t cfg.designated (Message.Extension (Proto.Group_sync { lfibs }))
+        send_state t cfg.designated (Message.Extension (Proto.Group_sync { lfibs }))
 
 (* --- ARP relay and packet handling ------------------------------------------ *)
 
@@ -568,6 +613,11 @@ let handle_packet_in t ~from packet =
 (* --- message entry point ------------------------------------------------------ *)
 
 let rec handle_message t ~from msg =
+  (* Any sign of life from a switch revives a reliable session that gave
+     up retransmitting (e.g. after a long burst or link outage). *)
+  (match t.sessions.(Sid.to_int from) with
+  | Some s when Reliable.has_given_up s -> Reliable.kick s
+  | _ -> ());
   match msg with
   | Message.Packet_in { packet; _ } ->
       request t;
@@ -575,9 +625,11 @@ let rec handle_message t ~from msg =
   | Message.Echo_reply _ ->
       Failover.Monitor.echo_received t.monitor from;
       if Sid.Set.mem from t.awaiting_recovery then switch_recovered t from
-  | Message.Hello | Message.Echo_request _ | Message.Packet_out _
-  | Message.Flow_mod _ ->
-      ()
+  | Message.Hello ->
+      (* Power-on handshake: the switch announces it is (back) up.  Re-push
+         its configuration; harmless if it never had one. *)
+      switch_recovered t from
+  | Message.Echo_request _ | Message.Packet_out _ | Message.Flow_mod _ -> ()
   | Message.Extension ext -> (
       match ext with
       | Proto.State_report { deltas; intensity; _ } ->
@@ -618,6 +670,12 @@ let rec handle_message t ~from msg =
       | Proto.Lfib_advert d ->
           request t;
           Clib.apply_delta t.clib d
+      | Proto.Seq { epoch; seq; payload } ->
+          List.iter
+            (fun m -> handle_message t ~from m)
+            (Reliable.handle_data (session t from) ~epoch ~seq payload)
+      | Proto.Ack { epoch; cum } ->
+          Reliable.handle_ack (session t from) ~epoch ~cum
       | Proto.Group_config _ | Proto.Group_sync _ | Proto.Member_report _
       | Proto.Group_arp _ | Proto.Arp_broadcast _ | Proto.Keepalive _ ->
           ())
@@ -713,6 +771,14 @@ let bootstrap t ~intensity =
   ignore (Engine.every t.env.engine ~period:t.config.echo_period (fun () -> echo_tick t));
   ignore
     (Engine.every t.env.engine ~period:t.config.daemon_period (fun () -> daemon_tick t))
+
+let reliable_stats t =
+  Array.fold_left
+    (fun acc s ->
+      match s with
+      | None -> acc
+      | Some s -> Reliable.stats_add acc (Reliable.stats s))
+    Reliable.stats_zero t.sessions
 
 let stats t =
   {

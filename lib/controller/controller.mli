@@ -46,6 +46,11 @@ type config = {
   preload_on_regroup : bool;
       (** Appendix B: bridge regrouping windows with temporary rules so
           traffic to departing peers does not punt while state settles *)
+  reliable_state : bool;
+      (** deliver [Group_config]/[Group_sync] over per-switch
+          {!Lazyctrl_openflow.Reliable} sessions; flow mods and packet
+          outs stay fire-and-forget like plain OpenFlow *)
+  retrans : Reliable.config;
 }
 
 val default_config : config
@@ -94,6 +99,9 @@ val group_config_of : t -> Ids.Switch_id.t -> Proto.group_config option
 val clib : t -> Clib.t
 val monitor : t -> Failover.Monitor.t
 val stats : t -> stats
+
+val reliable_stats : t -> Reliable.stats
+(** Aggregate over the per-switch reliable sessions. *)
 
 val set_request_hook : t -> (unit -> unit) -> unit
 (** Called once per workload-relevant request — the measurement tap for

@@ -9,6 +9,7 @@ open Lazyctrl_controller
 open Lazyctrl_baseline
 open Lazyctrl_metrics
 module Prng = Lazyctrl_util.Prng
+module Det = Lazyctrl_util.Det
 module Sid = Ids.Switch_id
 
 type mode = Lazy | Openflow
@@ -20,6 +21,9 @@ type lazy_plane = {
   ctrl_down : Edge_switch.msg Channel.t array; (* controller -> switch *)
   peer : (int * int, Edge_switch.msg Channel.t) Hashtbl.t;
   relay : (int, Sid.t) Hashtbl.t; (* switch under control-link failover -> via *)
+  loss_rng : Prng.t; (* parent stream for per-channel loss sub-streams *)
+  peer_loss : Channel.loss_spec option ref;
+      (* current spec, inherited by lazily created peer channels *)
 }
 
 type of_plane = {
@@ -71,21 +75,41 @@ let host_delivery t host pkt =
   | Host_model.Data_duplicate | Host_model.Arp_handled | Host_model.Not_for_host ->
       ()
 
+(* Attach (or clear) a loss model; the sub-stream is keyed by the channel
+   name, so the draw sequence of one channel never depends on another. *)
+let apply_loss loss_rng spec ch =
+  match spec with
+  | None -> Channel.clear_loss ch
+  | Some spec ->
+      Channel.set_loss ch ~rng:(Prng.named loss_rng ("loss:" ^ Channel.name ch)) spec
+
 let make_lazy_plane ~params ~controller_config ~engine ~topo ~underlay
     ~deliver_local =
   let n = Topology.n_switches topo in
   let rng = Prng.create params.Params.seed in
+  let loss_rng = Prng.named rng "channel-loss" in
+  let peer_loss = ref params.Params.peer_loss in
   let switches : Edge_switch.t option array = Array.make n None in
   let get_switch i = Option.get switches.(i) in
   let ctrl_up =
     Array.init n (fun i ->
-        Channel.create engine ~latency:params.Params.control_link_latency
-          ~name:(Printf.sprintf "ctrl-up-%d" i) ())
+        let ch =
+          Channel.create ~strict:true engine
+            ~latency:params.Params.control_link_latency
+            ~name:(Printf.sprintf "ctrl-up-%d" i) ()
+        in
+        apply_loss loss_rng params.Params.control_loss ch;
+        ch)
   in
   let ctrl_down =
     Array.init n (fun i ->
-        Channel.create engine ~latency:params.Params.control_link_latency
-          ~name:(Printf.sprintf "ctrl-down-%d" i) ())
+        let ch =
+          Channel.create ~strict:true engine
+            ~latency:params.Params.control_link_latency
+            ~name:(Printf.sprintf "ctrl-down-%d" i) ()
+        in
+        apply_loss loss_rng params.Params.control_loss ch;
+        ch)
   in
   let peer : (int * int, Edge_switch.msg Channel.t) Hashtbl.t =
     Hashtbl.create 1024
@@ -96,10 +120,12 @@ let make_lazy_plane ~params ~controller_config ~engine ~topo ~underlay
     | Some ch -> ch
     | None ->
         let ch =
-          Channel.create engine ~latency:params.Params.peer_link_latency
+          Channel.create ~strict:true engine
+            ~latency:params.Params.peer_link_latency
             ~name:(Printf.sprintf "peer-%d-%d" (fst key) (snd key))
             ()
         in
+        apply_loss loss_rng !peer_loss ch;
         Channel.set_receiver ch (fun msg ->
             Edge_switch.handle_peer_message (get_switch (snd key)) ~from:src msg);
         Hashtbl.replace peer key ch;
@@ -158,7 +184,7 @@ let make_lazy_plane ~params ~controller_config ~engine ~topo ~underlay
     let env =
       {
         Edge_switch.engine;
-        send_controller = (fun msg -> ignore (Channel.send ctrl_up.(i) msg));
+        send_controller = (fun msg -> Channel.send ctrl_up.(i) msg);
         send_peer =
           (fun p msg ->
             if not (Sid.equal p self) then
@@ -186,6 +212,8 @@ let make_lazy_plane ~params ~controller_config ~engine ~topo ~underlay
     ctrl_down;
     peer;
     relay;
+    loss_rng;
+    peer_loss;
   }
 
 let make_of_plane ~params ~of_config ~engine ~topo ~underlay ~deliver_local =
@@ -193,12 +221,14 @@ let make_of_plane ~params ~of_config ~engine ~topo ~underlay ~deliver_local =
   let switches : Of_switch.t option array = Array.make n None in
   let ctrl_up =
     Array.init n (fun i ->
-        Channel.create engine ~latency:params.Params.control_link_latency
+        Channel.create ~strict:true engine
+          ~latency:params.Params.control_link_latency
           ~name:(Printf.sprintf "of-ctrl-up-%d" i) ())
   in
   let ctrl_down =
     Array.init n (fun i ->
-        Channel.create engine ~latency:params.Params.control_link_latency
+        Channel.create ~strict:true engine
+          ~latency:params.Params.control_link_latency
           ~name:(Printf.sprintf "of-ctrl-down-%d" i) ())
   in
   let service =
@@ -396,6 +426,8 @@ let zero_stats : Edge_switch.stats =
     arp_group_escalated = 0;
     adverts_sent = 0;
     keepalives_sent = 0;
+    misses_buffered = 0;
+    misses_replayed = 0;
   }
 
 let switch_stats_sum t =
@@ -420,6 +452,8 @@ let switch_stats_sum t =
             arp_group_escalated = acc.arp_group_escalated + s.arp_group_escalated;
             adverts_sent = acc.adverts_sent + s.adverts_sent;
             keepalives_sent = acc.keepalives_sent + s.keepalives_sent;
+            misses_buffered = acc.misses_buffered + s.misses_buffered;
+            misses_replayed = acc.misses_replayed + s.misses_replayed;
           })
         zero_stats p.switches
 
@@ -447,6 +481,11 @@ let with_lazy t f = match t.plane with Lazy_plane p -> f p | Of_plane _ -> ()
 let fail_switch t sw =
   with_lazy t (fun p -> Edge_switch.set_up p.switches.(Sid.to_int sw) false)
 
+let repair_switch t sw =
+  with_lazy t (fun p ->
+      let es = p.switches.(Sid.to_int sw) in
+      if not (Edge_switch.is_up es) then Edge_switch.set_up es true)
+
 let fail_control_link t sw =
   with_lazy t (fun p ->
       Channel.fail p.ctrl_up.(Sid.to_int sw);
@@ -468,10 +507,12 @@ let fail_peer_key t (p : lazy_plane) key =
   | None ->
       (* Create-and-fail so future sends on this pair also drop. *)
       let ch =
-        Channel.create t.engine ~latency:t.params.Params.peer_link_latency
+        Channel.create ~strict:true t.engine
+          ~latency:t.params.Params.peer_link_latency
           ~name:(Printf.sprintf "peer-%d-%d" (fst key) (snd key))
           ()
       in
+      apply_loss p.loss_rng !(p.peer_loss) ch;
       Channel.set_receiver ch (fun msg ->
           Edge_switch.handle_peer_message
             p.switches.(snd key)
@@ -507,3 +548,67 @@ let repair_data_path t ~src ~dst =
   Underlay.repair_path t.underlay
     ~src:(Topology.underlay_ip t.topo src)
     ~dst:(Topology.underlay_ip t.topo dst)
+
+(* --- channel loss injection ---------------------------------------------- *)
+
+let set_control_loss t spec =
+  with_lazy t (fun p ->
+      Array.iter (apply_loss p.loss_rng spec) p.ctrl_up;
+      Array.iter (apply_loss p.loss_rng spec) p.ctrl_down)
+
+let set_peer_loss t spec =
+  with_lazy t (fun p ->
+      p.peer_loss := spec;
+      List.iter
+        (fun (_, ch) -> apply_loss p.loss_rng spec ch)
+        (Det.bindings_sorted ~cmp:Det.pair_compare p.peer))
+
+(* --- aggregate channel / reliability accounting --------------------------- *)
+
+type link_totals = {
+  links_sent : int;
+  links_delivered : int;
+  links_dropped : int;
+  links_lost : int;
+  links_duplicated : int;
+}
+
+let link_zero =
+  {
+    links_sent = 0;
+    links_delivered = 0;
+    links_dropped = 0;
+    links_lost = 0;
+    links_duplicated = 0;
+  }
+
+let link_add acc ch =
+  {
+    links_sent = acc.links_sent + Channel.sent ch;
+    links_delivered = acc.links_delivered + Channel.delivered ch;
+    links_dropped = acc.links_dropped + Channel.dropped ch;
+    links_lost = acc.links_lost + Channel.lost ch;
+    links_duplicated = acc.links_duplicated + Channel.duplicated ch;
+  }
+
+let link_stats t =
+  match t.plane with
+  | Lazy_plane p ->
+      let acc = Array.fold_left link_add link_zero p.ctrl_up in
+      let acc = Array.fold_left link_add acc p.ctrl_down in
+      List.fold_left
+        (fun acc (_, ch) -> link_add acc ch)
+        acc
+        (Det.bindings_sorted ~cmp:Det.pair_compare p.peer)
+  | Of_plane p ->
+      let acc = Array.fold_left link_add link_zero p.of_ctrl_up in
+      Array.fold_left link_add acc p.of_ctrl_down
+
+let reliability_stats t =
+  match t.plane with
+  | Of_plane _ -> Reliable.stats_zero
+  | Lazy_plane p ->
+      Array.fold_left
+        (fun acc sw -> Reliable.stats_add acc (Edge_switch.reliable_stats sw))
+        (Controller.reliable_stats p.controller)
+        p.switches

@@ -83,6 +83,11 @@ val fail_switch : t -> Ids.Switch_id.t -> unit
     designated switch if needed, and issues a reboot; the switch comes
     back after [params.reboot_delay] and is re-synced. *)
 
+val repair_switch : t -> Ids.Switch_id.t -> unit
+(** Power the switch back on (idempotent). The switch sends a power-on
+    [Hello] so the controller re-pushes its group configuration even when
+    the outage was shorter than failure detection. *)
+
 val fail_control_link : t -> Ids.Switch_id.t -> unit
 val repair_control_link : t -> Ids.Switch_id.t -> unit
 val fail_peer_link : t -> Ids.Switch_id.t -> Ids.Switch_id.t -> unit
@@ -99,3 +104,34 @@ val fail_data_path :
     and installs detour rules (§III-E2). *)
 
 val repair_data_path : t -> src:Ids.Switch_id.t -> dst:Ids.Switch_id.t -> unit
+
+(** {1 Channel loss injection} (lazy mode)
+
+    Seeded Gilbert–Elliott loss on the control and peer channels. The
+    per-channel loss streams are sub-streams of the network seed, so runs
+    are reproducible regardless of when loss is (re)configured. *)
+
+val set_control_loss : t -> Lazyctrl_openflow.Channel.loss_spec option -> unit
+(** Apply (or with [None], clear) a loss model on every switch ↔
+    controller channel, both directions. *)
+
+val set_peer_loss : t -> Lazyctrl_openflow.Channel.loss_spec option -> unit
+(** Same for every switch ↔ switch peer channel, including channels
+    created lazily after this call. *)
+
+(** {1 Aggregate channel and reliability accounting} *)
+
+type link_totals = {
+  links_sent : int;
+  links_delivered : int;
+  links_dropped : int;      (** dropped because the channel was down *)
+  links_lost : int;         (** dropped by the random loss model *)
+  links_duplicated : int;
+}
+
+val link_stats : t -> link_totals
+(** Totals over all control and peer channels. *)
+
+val reliability_stats : t -> Lazyctrl_openflow.Reliable.stats
+(** Aggregate over every reliable session in the network — controller-side
+    and switch-side. [violations = 0] is the exactly-once invariant. *)

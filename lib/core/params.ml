@@ -13,6 +13,8 @@ type t = {
   reboot_delay : Time.t;
   flow_table_capacity : int;
   switch_config : Lazyctrl_switch.Edge_switch.config;
+  control_loss : Lazyctrl_openflow.Channel.loss_spec option;
+  peer_loss : Lazyctrl_openflow.Channel.loss_spec option;
 }
 
 let default =
@@ -29,6 +31,8 @@ let default =
     reboot_delay = Time.of_sec 10;
     flow_table_capacity = 4096;
     switch_config = Lazyctrl_switch.Edge_switch.default_config;
+    control_loss = None;
+    peer_loss = None;
   }
 
 let with_seed seed t = { t with seed }

@@ -27,6 +27,12 @@ type t = {
   reboot_delay : Time.t;       (** switch power-cycle time (§III-E3) *)
   flow_table_capacity : int;
   switch_config : Lazyctrl_switch.Edge_switch.config;
+  control_loss : Lazyctrl_openflow.Channel.loss_spec option;
+      (** Gilbert–Elliott loss on every control link; [None] = lossless.
+          Retry/backoff knobs live in [switch_config.retrans] and the
+          controller config's [retrans]. *)
+  peer_loss : Lazyctrl_openflow.Channel.loss_spec option;
+      (** same, for the switch ↔ switch peer links *)
 }
 
 val default : t

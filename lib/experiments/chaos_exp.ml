@@ -1,0 +1,54 @@
+open Lazyctrl_chaos
+module Table = Lazyctrl_util.Table
+module Reliable = Lazyctrl_openflow.Reliable
+module Time = Lazyctrl_sim.Time
+
+let config ~seed ~loss ~reliable =
+  {
+    Runner.default_config with
+    Runner.seed;
+    loss;
+    (* Duplication rides along at a fifth of the loss rate, like a WAN. *)
+    dup = loss /. 5.0;
+    reliable;
+  }
+
+let mode_label reliable = if reliable then "reliable" else "fire-and-forget"
+
+let table ?(seed = 42) ?(losses = [ 0.0; 0.02; 0.05; 0.10 ]) () =
+  let tbl =
+    Table.create
+      [
+        "loss";
+        "state delivery";
+        "delivered";
+        "retransmits";
+        "give-ups";
+        "invariants";
+        "converged (s)";
+      ]
+  in
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun reliable ->
+          let r = Runner.run (config ~seed ~loss ~reliable) in
+          let ok =
+            List.length (List.filter (fun x -> x.Invariant.ok) r.Runner.reports)
+          in
+          Table.add_row tbl
+            [
+              Printf.sprintf "%.0f%%" (100. *. loss);
+              mode_label reliable;
+              Printf.sprintf "%.1f%%"
+                (100. *. Runner.delivery_ratio r.Runner.link);
+              string_of_int r.Runner.reliability.Reliable.retransmits;
+              string_of_int r.Runner.reliability.Reliable.give_ups;
+              Printf.sprintf "%d/%d" ok (List.length r.Runner.reports);
+              (match r.Runner.converged_after with
+              | Some t -> Printf.sprintf "%.1f" (Time.to_float_sec t)
+              | None -> "never");
+            ])
+        [ true; false ])
+    losses;
+  tbl

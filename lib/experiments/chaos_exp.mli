@@ -1,0 +1,12 @@
+(** Chaos sweep: channel loss rate x state-delivery mode, each cell one
+    seeded multi-fault scenario ({!Lazyctrl_chaos.Runner}).
+
+    Columns: end-to-end delivery ratio, retransmissions, reliable-session
+    give-ups, invariant verdicts at the settle deadline, and time from the
+    last repair to full convergence. The fire-and-forget rows show the
+    failure mode the reliable layer exists to fix: under loss they either
+    converge only via the slow periodic full re-adverts or not at all. *)
+
+module Table = Lazyctrl_util.Table
+
+val table : ?seed:int -> ?losses:float list -> unit -> Table.t

@@ -6,29 +6,66 @@
     order is always FIFO even under jitter (a later send never overtakes an
     earlier one, like a TCP connection). Channels can be failed and
     repaired to drive the failover machinery; messages sent while down are
-    counted as dropped. *)
+    counted as dropped.
+
+    A channel may additionally carry a seeded Gilbert–Elliott loss model:
+    each send is lost (or duplicated) with a probability that depends on a
+    two-state good/bad Markov chain, drawn from a {!Lazyctrl_util.Prng}
+    stream so runs stay byte-reproducible. Random loss is distinct from
+    drops: [dropped] counts messages killed by a downed channel or a
+    missing receiver, [lost] counts messages eaten by the loss model. *)
 
 open Lazyctrl_sim
+module Prng = Lazyctrl_util.Prng
+
+type loss_spec = {
+  p_loss_good : float;  (** per-message loss probability in the good state *)
+  p_loss_bad : float;  (** per-message loss probability in the bad state *)
+  p_good_to_bad : float;  (** per-message transition probability *)
+  p_bad_to_good : float;  (** per-message transition probability *)
+  p_duplicate : float;  (** probability a surviving message is delivered twice *)
+}
+
+val uniform_loss : ?dup:float -> float -> loss_spec
+(** Memoryless loss at the given rate (the chain never leaves the good
+    state); [dup] defaults to 0. *)
+
+val bursty_loss : ?dup:float -> base:float -> burst:float -> unit -> loss_spec
+(** Gilbert–Elliott bursts: [base] loss in the good state, [burst] loss in
+    the bad state, with moderate transition probabilities. *)
 
 type 'msg t
 
 val create :
+  ?strict:bool ->
   Engine.t ->
   latency:Time.t ->
   ?jitter:(unit -> Time.t) ->
   name:string ->
   unit ->
   'msg t
+(** [strict] (default [false]) turns a delivery that finds no receiver into
+    an [Invalid_argument] exception instead of a silent drop — it flags
+    wiring-order bugs where a message is sent before {!set_receiver}. *)
 
 val name : 'msg t -> string
 
 val set_receiver : 'msg t -> ('msg -> unit) -> unit
 (** Must be set before the first delivery fires; messages delivered with
-    no receiver are counted as dropped. *)
+    no receiver are counted as dropped (or raise under [~strict:true]). *)
+
+val set_loss : 'msg t -> rng:Prng.t -> loss_spec -> unit
+(** Attach (or replace) the loss model. The channel takes ownership of
+    [rng] and consumes exactly three draws per send, so a dedicated
+    {!Prng.named} sub-stream per channel keeps runs reproducible. *)
+
+val clear_loss : 'msg t -> unit
+val loss_active : 'msg t -> bool
 
 val send : 'msg t -> 'msg -> bool
 (** Enqueue for delivery after the channel latency; [false] (and a drop)
-    when the channel is down. *)
+    when the channel is down. Random loss/duplication by the loss model is
+    invisible to the sender and still returns [true]. *)
 
 val fail : 'msg t -> unit
 (** Take the channel down. In-flight messages are lost. *)
@@ -38,4 +75,13 @@ val is_up : 'msg t -> bool
 
 val sent : 'msg t -> int
 val delivered : 'msg t -> int
+
 val dropped : 'msg t -> int
+(** Messages killed because the channel was down (at send or delivery
+    time) or no receiver was set. *)
+
+val lost : 'msg t -> int
+(** Messages eaten by the loss model. *)
+
+val duplicated : 'msg t -> int
+(** Messages the loss model delivered twice. *)

@@ -1,0 +1,269 @@
+open Lazyctrl_sim
+
+type config = {
+  rto_initial : Time.t;
+  rto_max : Time.t;
+  backoff : float;
+  max_retries : int;
+  max_queue : int;
+}
+
+let default_config =
+  {
+    rto_initial = Time.of_ms 200;
+    rto_max = Time.of_sec 4;
+    backoff = 2.0;
+    max_retries = 12;
+    max_queue = 512;
+  }
+
+type stats = {
+  data_sent : int;
+  retransmits : int;
+  acks_sent : int;
+  delivered : int;
+  dups_ignored : int;
+  stale_dropped : int;
+  tail_dropped : int;
+  give_ups : int;
+  violations : int;
+}
+
+let stats_zero =
+  {
+    data_sent = 0;
+    retransmits = 0;
+    acks_sent = 0;
+    delivered = 0;
+    dups_ignored = 0;
+    stale_dropped = 0;
+    tail_dropped = 0;
+    give_ups = 0;
+    violations = 0;
+  }
+
+let stats_add a b =
+  {
+    data_sent = a.data_sent + b.data_sent;
+    retransmits = a.retransmits + b.retransmits;
+    acks_sent = a.acks_sent + b.acks_sent;
+    delivered = a.delivered + b.delivered;
+    dups_ignored = a.dups_ignored + b.dups_ignored;
+    stale_dropped = a.stale_dropped + b.stale_dropped;
+    tail_dropped = a.tail_dropped + b.tail_dropped;
+    give_ups = a.give_ups + b.give_ups;
+    violations = a.violations + b.violations;
+  }
+
+type 'a t = {
+  engine : Engine.t;
+  config : config;
+  send_data : epoch:int -> seq:int -> 'a -> unit;
+  send_ack : epoch:int -> cum:int -> unit;
+  ep_name : string;
+  (* --- sender --- *)
+  mutable epoch : int;
+  mutable next_seq : int;
+  unacked : (int * 'a) Queue.t; (* FIFO of (seq, payload), oldest first *)
+  mutable timer : Engine.event_id option;
+  mutable rto : Time.t;
+  mutable attempts : int;
+  mutable gave_up : bool;
+  (* --- receiver --- *)
+  mutable remote_epoch : int;
+  mutable next_expected : int;
+  mutable last_handed : int; (* self-audit: last seq handed to the app *)
+  pending : (int, 'a) Hashtbl.t; (* out-of-order buffer *)
+  (* --- stats --- *)
+  mutable s_data_sent : int;
+  mutable s_retransmits : int;
+  mutable s_acks_sent : int;
+  mutable s_delivered : int;
+  mutable s_dups_ignored : int;
+  mutable s_stale_dropped : int;
+  mutable s_tail_dropped : int;
+  mutable s_give_ups : int;
+  mutable s_violations : int;
+}
+
+let create engine config ~send_data ~send_ack ~name () =
+  {
+    engine;
+    config;
+    send_data;
+    send_ack;
+    ep_name = name;
+    epoch = 0;
+    next_seq = 0;
+    unacked = Queue.create ();
+    timer = None;
+    rto = config.rto_initial;
+    attempts = 0;
+    gave_up = false;
+    remote_epoch = 0;
+    next_expected = 0;
+    last_handed = -1;
+    pending = Hashtbl.create 16;
+    s_data_sent = 0;
+    s_retransmits = 0;
+    s_acks_sent = 0;
+    s_delivered = 0;
+    s_dups_ignored = 0;
+    s_stale_dropped = 0;
+    s_tail_dropped = 0;
+    s_give_ups = 0;
+    s_violations = 0;
+  }
+
+let name t = t.ep_name
+let in_flight t = Queue.length t.unacked
+let epoch t = t.epoch
+let has_given_up t = t.gave_up
+
+let cancel_timer t =
+  match t.timer with
+  | None -> ()
+  | Some ev ->
+      Engine.cancel t.engine ev;
+      t.timer <- None
+
+let revive t =
+  t.gave_up <- false;
+  t.attempts <- 0;
+  t.rto <- t.config.rto_initial
+
+let rec arm t =
+  if Option.is_none t.timer && (not (Queue.is_empty t.unacked)) && not t.gave_up then
+    t.timer <-
+      Some
+        (Engine.schedule t.engine ~after:t.rto (fun () ->
+             t.timer <- None;
+             on_timeout t))
+
+and on_timeout t =
+  if not (Queue.is_empty t.unacked) then
+    if t.attempts >= t.config.max_retries then begin
+      (* Give up retransmitting until [kick] or a fresh [send]: the link
+         is presumed dead and the anti-entropy re-sync on reconnect will
+         reconcile state instead. *)
+      t.gave_up <- true;
+      t.s_give_ups <- t.s_give_ups + 1
+    end
+    else begin
+      t.attempts <- t.attempts + 1;
+      t.s_retransmits <- t.s_retransmits + Queue.length t.unacked;
+      Queue.iter
+        (fun (seq, payload) -> t.send_data ~epoch:t.epoch ~seq payload)
+        t.unacked;
+      t.rto <- Time.min (Time.scale t.rto t.config.backoff) t.config.rto_max;
+      arm t
+    end
+
+let send t payload =
+  if Queue.length t.unacked >= t.config.max_queue then
+    (* Tail-drop BEFORE assigning a sequence number: under cumulative
+       acks a gap in the seq stream would wedge the receiver forever. *)
+    t.s_tail_dropped <- t.s_tail_dropped + 1
+  else begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    Queue.push (seq, payload) t.unacked;
+    t.s_data_sent <- t.s_data_sent + 1;
+    t.send_data ~epoch:t.epoch ~seq payload;
+    (* Fresh data revives a session that had given up; the link may be
+       back and the retransmit timer should probe again. *)
+    if t.gave_up then revive t;
+    arm t
+  end
+
+let handle_ack t ~epoch ~cum =
+  if Int.equal epoch t.epoch then begin
+    let progressed = ref false in
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt t.unacked with
+      | Some (seq, _) when seq <= cum ->
+          ignore (Queue.pop t.unacked);
+          progressed := true
+      | _ -> continue := false
+    done;
+    if !progressed then begin
+      (* Forward progress: reset the backoff and re-arm for whatever is
+         still outstanding. *)
+      cancel_timer t;
+      revive t;
+      arm t
+    end
+  end
+
+let handle_data t ~epoch ~seq payload =
+  if epoch < t.remote_epoch then begin
+    t.s_stale_dropped <- t.s_stale_dropped + 1;
+    []
+  end
+  else begin
+    if epoch > t.remote_epoch then begin
+      (* The remote endpoint restarted (e.g. a switch reboot): adopt its
+         new session and forget the old receive window. *)
+      t.remote_epoch <- epoch;
+      t.next_expected <- 0;
+      t.last_handed <- -1;
+      Hashtbl.reset t.pending
+    end;
+    let deliverable =
+      if seq < t.next_expected || Hashtbl.mem t.pending seq then begin
+        t.s_dups_ignored <- t.s_dups_ignored + 1;
+        []
+      end
+      else begin
+        Hashtbl.replace t.pending seq payload;
+        let acc = ref [] in
+        let continue = ref true in
+        while !continue do
+          match Hashtbl.find_opt t.pending t.next_expected with
+          | Some p ->
+              Hashtbl.remove t.pending t.next_expected;
+              (* Self-audit of the exactly-once, in-order contract. *)
+              if t.next_expected <> t.last_handed + 1 then
+                t.s_violations <- t.s_violations + 1;
+              t.last_handed <- t.next_expected;
+              t.next_expected <- t.next_expected + 1;
+              acc := p :: !acc
+          | None -> continue := false
+        done;
+        let out = List.rev !acc in
+        t.s_delivered <- t.s_delivered + List.length out;
+        out
+      end
+    in
+    (* Always (re-)ack, even for duplicates: the ack may have been the
+       lost half of the exchange. [cum] may be -1 when nothing is
+       deliverable yet. *)
+    t.s_acks_sent <- t.s_acks_sent + 1;
+    t.send_ack ~epoch:t.remote_epoch ~cum:(t.next_expected - 1);
+    deliverable
+  end
+
+let reset t =
+  t.epoch <- t.epoch + 1;
+  t.next_seq <- 0;
+  Queue.clear t.unacked;
+  cancel_timer t;
+  revive t
+
+let kick t =
+  if t.gave_up then revive t;
+  arm t
+
+let stats t =
+  {
+    data_sent = t.s_data_sent;
+    retransmits = t.s_retransmits;
+    acks_sent = t.s_acks_sent;
+    delivered = t.s_delivered;
+    dups_ignored = t.s_dups_ignored;
+    stale_dropped = t.s_stale_dropped;
+    tail_dropped = t.s_tail_dropped;
+    give_ups = t.s_give_ups;
+    violations = t.s_violations;
+  }

@@ -1,0 +1,85 @@
+(** Reliable in-order delivery over lossy control channels.
+
+    A [Reliable.t] is one endpoint of a bidirectional session: it numbers
+    outgoing payloads with [(epoch, seq)], retransmits unacked payloads
+    go-back-N style with exponential backoff (capped, then it gives up
+    until kicked), and dedups/reorders incoming payloads so the
+    application sees each payload exactly once, in send order — the
+    idempotent-receive half of the paper-faithful state dissemination
+    story. Epochs make sessions survive endpoint reboots: {!reset} bumps
+    the sender epoch so a restarted sender's [seq 0] is not mistaken for a
+    stale duplicate, and receivers adopt any newer epoch wholesale.
+
+    The layer is payload-agnostic and callback-based so {!Edge_switch}
+    and [Controller] can wrap payloads in their own [Proto] envelopes.
+    Everything runs on the simulation engine; no wall clocks, no hidden
+    randomness, so chaos runs stay byte-reproducible. *)
+
+open Lazyctrl_sim
+
+type config = {
+  rto_initial : Time.t;  (** first retransmission timeout *)
+  rto_max : Time.t;  (** backoff cap *)
+  backoff : float;  (** multiplier applied per timeout *)
+  max_retries : int;  (** give up (until {!kick}/{!send}) after this many *)
+  max_queue : int;  (** sender window; beyond it sends are tail-dropped *)
+}
+
+val default_config : config
+
+type stats = {
+  data_sent : int;  (** first transmissions *)
+  retransmits : int;  (** payload retransmissions (all go-back-N copies) *)
+  acks_sent : int;
+  delivered : int;  (** payloads handed to the application *)
+  dups_ignored : int;  (** duplicate receives suppressed *)
+  stale_dropped : int;  (** receives from an out-of-date epoch *)
+  tail_dropped : int;  (** sends refused because the window was full *)
+  give_ups : int;  (** retransmission abandonments after [max_retries] *)
+  violations : int;  (** exactly-once/in-order self-audit failures; 0 always *)
+}
+
+val stats_zero : stats
+val stats_add : stats -> stats -> stats
+
+type 'a t
+
+val create :
+  Engine.t ->
+  config ->
+  send_data:(epoch:int -> seq:int -> 'a -> unit) ->
+  send_ack:(epoch:int -> cum:int -> unit) ->
+  name:string ->
+  unit ->
+  'a t
+(** [send_data]/[send_ack] put a numbered payload / cumulative ack on the
+    wire (typically via a lossy {!Channel}); they must not raise. *)
+
+val name : 'a t -> string
+
+val send : 'a t -> 'a -> unit
+(** Number, queue and transmit a payload. Tail-drops (counted) when the
+    window is full — before a sequence number is assigned, so the seq
+    stream stays gapless. *)
+
+val handle_ack : 'a t -> epoch:int -> cum:int -> unit
+(** Process a cumulative ack for our outgoing stream; acks for a stale
+    epoch are ignored. *)
+
+val handle_data : 'a t -> epoch:int -> seq:int -> 'a -> 'a list
+(** Process an incoming numbered payload; returns the (possibly empty)
+    list of payloads now deliverable to the application, in order. Sends
+    an ack via [send_ack] in all non-stale cases, including duplicates. *)
+
+val reset : 'a t -> unit
+(** Start a new outgoing epoch and discard unacked state — call when this
+    endpoint reboots or its peer is replaced. *)
+
+val kick : 'a t -> unit
+(** Revive a session that gave up retransmitting and re-arm the timer —
+    call on any evidence the link is back (e.g. a message arrived). *)
+
+val in_flight : 'a t -> int
+val epoch : 'a t -> int
+val has_given_up : 'a t -> bool
+val stats : 'a t -> stats

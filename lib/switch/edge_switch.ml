@@ -7,7 +7,7 @@ type msg = Proto.t Message.t
 
 type env = {
   engine : Engine.t;
-  send_controller : msg -> unit;
+  send_controller : msg -> bool;
   send_peer : Ids.Switch_id.t -> msg -> unit;
   send_underlay : Packet.t -> unit;
   deliver_local : Host.t -> Packet.t -> unit;
@@ -19,6 +19,9 @@ type config = {
   gfib_bits_per_entry : int;
   expected_hosts_per_switch : int;
   report_false_positives : bool;
+  reliable_state : bool;
+  retrans : Reliable.config;
+  miss_buffer_capacity : int;
 }
 
 let default_config =
@@ -27,6 +30,9 @@ let default_config =
     gfib_bits_per_entry = 128;
     expected_hosts_per_switch = 64;
     report_false_positives = false;
+    reliable_state = true;
+    retrans = Reliable.default_config;
+    miss_buffer_capacity = 128;
   }
 
 type stats = {
@@ -43,6 +49,8 @@ type stats = {
   arp_group_escalated : int;
   adverts_sent : int;
   keepalives_sent : int;
+  misses_buffered : int;
+  misses_replayed : int;
 }
 
 type designated_state = {
@@ -69,6 +77,12 @@ type t = {
   mutable alarmed_up : bool;
   mutable alarmed_down : bool;
   mutable sync_ticks : int;
+  (* reliable state dissemination *)
+  mutable ctrl_session : msg Reliable.t option; (* created on first use *)
+  peer_sessions : (int, msg Reliable.t) Hashtbl.t;
+  mutable ctrl_suspect : bool; (* a control-link send failed; re-sync on reconnect *)
+  miss_buffer : (Packet.t * Message.reason) Queue.t;
+      (* inter-group misses punted while the control link was lost *)
   (* stats *)
   mutable s_from_hosts : int;
   mutable s_delivered : int;
@@ -83,6 +97,8 @@ type t = {
   mutable s_arp_escalated : int;
   mutable s_adverts : int;
   mutable s_keepalives : int;
+  mutable s_miss_buffered : int;
+  mutable s_miss_replayed : int;
 }
 
 let create env config ~self =
@@ -108,6 +124,10 @@ let create env config ~self =
     alarmed_up = false;
     alarmed_down = false;
     sync_ticks = 0;
+    ctrl_session = None;
+    peer_sessions = Hashtbl.create 8;
+    ctrl_suspect = false;
+    miss_buffer = Queue.create ();
     s_from_hosts = 0;
     s_delivered = 0;
     s_encap = 0;
@@ -121,6 +141,8 @@ let create env config ~self =
     s_arp_escalated = 0;
     s_adverts = 0;
     s_keepalives = 0;
+    s_miss_buffered = 0;
+    s_miss_replayed = 0;
   }
 
 let self t = t.self
@@ -137,12 +159,69 @@ let is_designated t =
 
 let now t = Engine.now t.env.engine
 
-let send_controller t msg =
-  match t.relay_via with
-  | None -> t.env.send_controller msg
-  | Some neighbor ->
-      t.env.send_peer neighbor
-        (Message.Extension (Proto.Relay { origin = t.self; boxed = msg }))
+(* Raw control-link transmission (or relay through a ring neighbour);
+   [false] flags a dead control link, which arms the reconnect re-sync. *)
+let raw_send_controller t msg =
+  let ok =
+    match t.relay_via with
+    | None -> t.env.send_controller msg
+    | Some neighbor ->
+        t.env.send_peer neighbor
+          (Message.Extension (Proto.Relay { origin = t.self; boxed = msg }));
+        true
+  in
+  if not ok then t.ctrl_suspect <- true;
+  ok
+
+let send_controller t msg = ignore (raw_send_controller t msg)
+
+(* --- reliable sessions ---------------------------------------------------- *)
+
+let ctrl_session t =
+  match t.ctrl_session with
+  | Some s -> s
+  | None ->
+      let s =
+        Reliable.create t.env.engine t.config.retrans
+          ~send_data:(fun ~epoch ~seq payload ->
+            send_controller t (Message.Extension (Proto.Seq { epoch; seq; payload })))
+          ~send_ack:(fun ~epoch ~cum ->
+            send_controller t (Message.Extension (Proto.Ack { epoch; cum })))
+          ~name:(Printf.sprintf "sw%d-ctrl" (Ids.Switch_id.to_int t.self))
+          ()
+      in
+      t.ctrl_session <- Some s;
+      s
+
+let peer_session t sid =
+  let key = Ids.Switch_id.to_int sid in
+  match Hashtbl.find_opt t.peer_sessions key with
+  | Some s -> s
+  | None ->
+      let s =
+        Reliable.create t.env.engine t.config.retrans
+          ~send_data:(fun ~epoch ~seq payload ->
+            t.env.send_peer sid
+              (Message.Extension (Proto.Seq { epoch; seq; payload })))
+          ~send_ack:(fun ~epoch ~cum ->
+            t.env.send_peer sid (Message.Extension (Proto.Ack { epoch; cum })))
+          ~name:
+            (Printf.sprintf "sw%d-sw%d" (Ids.Switch_id.to_int t.self) key)
+          ()
+      in
+      Hashtbl.add t.peer_sessions key s;
+      s
+
+(* State dissemination (adverts, reports, alarms) goes through the
+   reliable layer when enabled; packet traffic and keep-alives stay raw —
+   a retransmitted keep-alive would defeat its purpose as loss detector. *)
+let send_state_ctrl t msg =
+  if t.config.reliable_state then Reliable.send (ctrl_session t) msg
+  else send_controller t msg
+
+let send_state_peer t sid msg =
+  if t.config.reliable_state then Reliable.send (peer_session t sid) msg
+  else t.env.send_peer sid msg
 
 let deliver t host pkt =
   t.s_delivered <- t.s_delivered + 1;
@@ -169,7 +248,16 @@ let encap_to t sid eth =
 
 let punt t packet reason =
   t.s_punted <- t.s_punted + 1;
-  send_controller t (Message.Packet_in { packet; reason })
+  if not (raw_send_controller t (Message.Packet_in { packet; reason })) then
+    (* Graceful degradation: the controller is unreachable, so the miss
+       cannot be resolved now. Intra-group traffic keeps flowing from the
+       G-FIB; inter-group misses wait in a bounded queue and are replayed
+       on reconnect (overflow falls back to the pre-buffering behaviour:
+       the packet is dropped and the flow's first packet is lost). *)
+    if Queue.length t.miss_buffer < t.config.miss_buffer_capacity then begin
+      Queue.push (packet, reason) t.miss_buffer;
+      t.s_miss_buffered <- t.s_miss_buffered + 1
+    end
 
 (* --- designated-switch duties ------------------------------------------- *)
 
@@ -201,8 +289,7 @@ let group_members_except t except =
 let designated_handle_advert t (d : Proto.lfib_delta) ~relay =
   if relay then
     List.iter
-      (fun m ->
-        t.env.send_peer m (Message.Extension (Proto.Lfib_advert d)))
+      (fun m -> send_state_peer t m (Message.Extension (Proto.Lfib_advert d)))
       (group_members_except t [ t.self; d.origin ]);
   buffer_delta t d
 
@@ -237,7 +324,7 @@ let send_state_report t =
       let deltas = List.rev ds.buffered_deltas in
       ds.buffered_deltas <- [];
       Hashtbl.reset ds.buffered_intensity;
-      send_controller t
+      send_state_ctrl t
         (Message.Extension (Proto.State_report { group = c.group; deltas; intensity }))
 
 let send_member_report t =
@@ -246,7 +333,7 @@ let send_member_report t =
   | Some c ->
       let pairs = take_own_intensity t in
       if not (List.is_empty pairs) then
-        t.env.send_peer c.designated
+        send_state_peer t c.designated
           (Message.Extension (Proto.Member_report { origin = t.self; intensity = pairs }))
 
 (* --- state advertisement ------------------------------------------------- *)
@@ -263,7 +350,7 @@ let send_advert t (d : Proto.lfib_delta) =
   | Some c ->
       if Ids.Switch_id.equal c.designated t.self then
         designated_handle_advert t d ~relay:true
-      else t.env.send_peer c.designated (Message.Extension (Proto.Lfib_advert d))
+      else send_state_peer t c.designated (Message.Extension (Proto.Lfib_advert d))
 
 let advertise_pending t =
   match advert_of_pending t with None -> () | Some d -> send_advert t d
@@ -450,7 +537,7 @@ let handle_underlay t packet =
 (* --- wheel keep-alives ----------------------------------------------------- *)
 
 let ring_alarm t ~missing ~direction =
-  send_controller t
+  send_state_ctrl t
     (Message.Extension (Proto.Ring_alarm { observer = t.self; missing; direction }))
 
 let keepalive_tick t =
@@ -576,9 +663,38 @@ let handle_extension_from_controller t = function
   | Proto.Arp_escalate _ | Proto.False_positive _ | Proto.Keepalive _
   | Proto.Ring_alarm _ | Proto.Relay _ ->
       ()
+  | Proto.Seq _ | Proto.Ack _ -> () (* unwrapped one level up *)
 
-let handle_controller_message t msg =
-  if t.up then
+(* The control link is back (we just heard from the controller after a
+   failed send): replay buffered misses, revive the reliable session and
+   run the anti-entropy re-sync — a full L-FIB advert to the controller
+   (healing its C-LIB row, the controller applies [Lfib_advert] directly)
+   and to the group (healing peer G-FIBs). *)
+let reconnect t =
+  t.ctrl_suspect <- false;
+  if t.config.reliable_state then Reliable.kick (ctrl_session t);
+  let n = Queue.length t.miss_buffer in
+  for _ = 1 to n do
+    let packet, reason = Queue.pop t.miss_buffer in
+    t.s_miss_replayed <- t.s_miss_replayed + 1;
+    send_controller t (Message.Packet_in { packet; reason })
+  done;
+  ignore (Lfib.take_pending t.lfib);
+  let d =
+    { Proto.origin = t.self; added = Lfib.all_keys t.lfib; removed = []; full = true }
+  in
+  send_state_ctrl t (Message.Extension (Proto.Lfib_advert d));
+  send_advert t d;
+  (* If we lost our group while the link was out (e.g. a power cycle the
+     controller never noticed), ask for a fresh config. *)
+  if Option.is_none t.group then ignore (raw_send_controller t Message.Hello)
+
+let rec handle_controller_message t msg =
+  if t.up then begin
+    if t.ctrl_suspect then reconnect t;
+    (match t.ctrl_session with
+    | Some s when Reliable.has_given_up s -> Reliable.kick s
+    | _ -> ());
     match msg with
     | Message.Flow_mod (Message.Add entry) ->
         Flow_table.install t.table ~now:(now t) entry
@@ -587,13 +703,29 @@ let handle_controller_message t msg =
     | Message.Packet_out { packet; actions } -> apply_actions t packet actions
     | Message.Echo_request n -> send_controller t (Message.Echo_reply n)
     | Message.Echo_reply _ | Message.Hello | Message.Packet_in _ -> ()
+    | Message.Extension (Proto.Seq { epoch; seq; payload }) ->
+        List.iter
+          (handle_controller_message t)
+          (Reliable.handle_data (ctrl_session t) ~epoch ~seq payload)
+    | Message.Extension (Proto.Ack { epoch; cum }) ->
+        Reliable.handle_ack (ctrl_session t) ~epoch ~cum
     | Message.Extension ext -> handle_extension_from_controller t ext
+  end
 
-let handle_peer_message t ~from msg =
-  if t.up then
+let rec handle_peer_message t ~from msg =
+  if t.up then begin
+    (match Hashtbl.find_opt t.peer_sessions (Ids.Switch_id.to_int from) with
+    | Some s when Reliable.has_given_up s -> Reliable.kick s
+    | _ -> ());
     match msg with
     | Message.Extension ext -> (
         match ext with
+        | Proto.Seq { epoch; seq; payload } ->
+            List.iter
+              (fun m -> handle_peer_message t ~from m)
+              (Reliable.handle_data (peer_session t from) ~epoch ~seq payload)
+        | Proto.Ack { epoch; cum } ->
+            Reliable.handle_ack (peer_session t from) ~epoch ~cum
         | Proto.Lfib_advert d ->
             apply_advert_to_gfib t d;
             (* First-hand adverts reach the designated switch directly from
@@ -614,13 +746,14 @@ let handle_peer_message t ~from msg =
                 if Ids.Switch_id.equal k down then t.last_seen_down <- now t)
         | Proto.Relay _ as relayed ->
             (* We are the healthy neighbour: forward on our control link. *)
-            t.env.send_controller (Message.Extension relayed)
+            ignore (t.env.send_controller (Message.Extension relayed))
         | Proto.Group_config _ | Proto.Group_sync _ | Proto.State_report _
         | Proto.Arp_escalate _ | Proto.False_positive _ | Proto.Ring_alarm _ ->
             ())
     | Message.Hello | Message.Echo_request _ | Message.Echo_reply _
     | Message.Packet_in _ | Message.Packet_out _ | Message.Flow_mod _ ->
         ()
+  end
 
 let set_up t up =
   if t.up && not up then begin
@@ -633,9 +766,23 @@ let set_up t up =
     Gfib.clear t.gfib;
     t.designated_state.buffered_deltas <- [];
     Hashtbl.reset t.designated_state.buffered_intensity;
-    Hashtbl.reset t.intensity
+    Hashtbl.reset t.intensity;
+    (* Reliable sessions do not survive a reboot: bump epochs so peers
+       treat our post-reboot seq 0 as a new stream, not a stale dup. *)
+    t.ctrl_suspect <- false;
+    Queue.clear t.miss_buffer;
+    (match t.ctrl_session with Some s -> Reliable.reset s | None -> ());
+    Det.iter_sorted ~cmp:Int.compare
+      (fun _ s -> Reliable.reset s)
+      t.peer_sessions
   end
-  else if (not t.up) && up then t.up <- true
+  else if (not t.up) && up then begin
+    t.up <- true;
+    (* Power-on handshake: announce ourselves so the controller re-pushes
+       our group config even when the outage was shorter than its failure
+       detection (otherwise we would sit ungrouped until the next regroup). *)
+    ignore (raw_send_controller t Message.Hello)
+  end
 
 let set_control_relay t via = t.relay_via <- via
 
@@ -660,4 +807,20 @@ let stats t =
     arp_group_escalated = t.s_arp_escalated;
     adverts_sent = t.s_adverts;
     keepalives_sent = t.s_keepalives;
+    misses_buffered = t.s_miss_buffered;
+    misses_replayed = t.s_miss_replayed;
   }
+
+let control_link_suspect t = t.ctrl_suspect
+let misses_pending t = Queue.length t.miss_buffer
+
+let reliable_stats t =
+  let acc =
+    match t.ctrl_session with
+    | None -> Reliable.stats_zero
+    | Some s -> Reliable.stats s
+  in
+  List.fold_left
+    (fun acc (_, s) -> Reliable.stats_add acc (Reliable.stats s))
+    acc
+    (Det.bindings_sorted ~cmp:Int.compare t.peer_sessions)

@@ -20,7 +20,9 @@ type msg = Proto.t Message.t
 
 type env = {
   engine : Engine.t;
-  send_controller : msg -> unit;   (** control link *)
+  send_controller : msg -> bool;
+      (** control link; [false] means the link is down right now, which
+          arms the reconnect/anti-entropy machinery *)
   send_peer : Ids.Switch_id.t -> msg -> unit;  (** peer links *)
   send_underlay : Packet.t -> unit;            (** encapsulated data plane *)
   deliver_local : Host.t -> Packet.t -> unit;  (** local host port *)
@@ -33,6 +35,14 @@ type config = {
   expected_hosts_per_switch : int;
   report_false_positives : bool;
       (** §III-D4's optional misdelivery report to the controller *)
+  reliable_state : bool;
+      (** carry state dissemination (adverts, reports, alarms, group
+          config) over {!Lazyctrl_openflow.Reliable} sessions; packet
+          traffic and keep-alives stay fire-and-forget *)
+  retrans : Reliable.config;
+  miss_buffer_capacity : int;
+      (** bounded queue of inter-group misses kept while the control link
+          is lost, replayed on reconnect *)
 }
 
 val default_config : config
@@ -51,6 +61,8 @@ type stats = {
   arp_group_escalated : int;    (** Group_arp sent to the designated switch *)
   adverts_sent : int;
   keepalives_sent : int;
+  misses_buffered : int;        (** punts queued while the control link was lost *)
+  misses_replayed : int;        (** buffered punts re-sent on reconnect *)
 }
 
 type t
@@ -89,6 +101,15 @@ val lfib : t -> Lfib.t
 val gfib : t -> Gfib.t
 val flow_table : t -> Flow_table.t
 val stats : t -> stats
+
+val control_link_suspect : t -> bool
+(** True between a failed control-link send and the reconnect re-sync. *)
+
+val misses_pending : t -> int
+(** Inter-group misses currently buffered awaiting reconnect. *)
+
+val reliable_stats : t -> Reliable.stats
+(** Aggregate over the controller session and all peer sessions. *)
 
 val flush_report : t -> unit
 (** Force the periodic advert/report cycle now (tests and shutdown). *)

@@ -63,6 +63,8 @@ type t =
       direction : [ `Up | `Down ];
     }
   | Relay of { origin : Ids.Switch_id.t; boxed : t Message.t }
+  | Seq of { epoch : int; seq : int; payload : t Message.t }
+  | Ack of { epoch : int; cum : int }
 
 let host_key_size = 14 (* 6 MAC + 4 IP + 4 tenant/vlan *)
 
@@ -89,6 +91,8 @@ let rec size_estimate = function
   | Keepalive _ -> 10
   | Ring_alarm _ -> 16
   | Relay { boxed; _ } -> 8 + Message.size_estimate size_estimate boxed
+  | Seq { payload; _ } -> 12 + Message.size_estimate size_estimate payload
+  | Ack _ -> 12
 
 let rec pp fmt = function
   | Group_config c ->
@@ -119,6 +123,9 @@ let rec pp fmt = function
         (match direction with `Up -> "up" | `Down -> "down")
   | Relay { origin; boxed } ->
       Format.fprintf fmt "relay(%a,%a)" Ids.Switch_id.pp origin (Message.pp pp) boxed
+  | Seq { epoch; seq; payload } ->
+      Format.fprintf fmt "seq(e%d,#%d,%a)" epoch seq (Message.pp pp) payload
+  | Ack { epoch; cum } -> Format.fprintf fmt "ack(e%d,cum=%d)" epoch cum
 
 module Ring = struct
   let neighbors ~members sw =

@@ -86,6 +86,13 @@ type t =
   | Relay of { origin : Ids.Switch_id.t; boxed : t Lazyctrl_openflow.Message.t }
       (** a whole control-link message forwarded through a ring neighbour
           during control-link failover (§III-E2) *)
+  | Seq of { epoch : int; seq : int; payload : t Lazyctrl_openflow.Message.t }
+      (** a reliable-delivery envelope: [payload] numbered within the
+          sender's [epoch] (bumped across reboots) by
+          {!Lazyctrl_openflow.Reliable}; receivers dedup and reorder *)
+  | Ack of { epoch : int; cum : int }
+      (** cumulative ack for a reliable stream: every seq [<= cum] of
+          [epoch] arrived ([cum = -1] when none have) *)
 
 val size_estimate : t -> int
 (** Approximate wire size for channel accounting. *)

@@ -129,6 +129,25 @@ let test_seed_sensitivity () =
   Alcotest.(check bool)
     "different seed, different fingerprint" false (String.equal fp1 fp3)
 
+(* Same property under chaos: lossy channels, fault injection, reliable
+   retransmission timers and invariant polling all derive from the one
+   seed, so the runner's fingerprint must be byte-identical too. *)
+let test_chaos_double_run () =
+  let module Runner = Lazyctrl_chaos.Runner in
+  let cfg = { Runner.default_config with Runner.seed = 7 } in
+  let r1 = Runner.run cfg in
+  let r2 = Runner.run cfg in
+  Alcotest.(check string)
+    "same seed, byte-identical chaos fingerprint" r1.Runner.fingerprint
+    r2.Runner.fingerprint;
+  Alcotest.(check bool)
+    "chaos fingerprint non-empty" true
+    (String.length r1.Runner.fingerprint > 200);
+  let r3 = Runner.run { cfg with Runner.seed = 8 } in
+  Alcotest.(check bool)
+    "different seed, different chaos fingerprint" false
+    (String.equal r1.Runner.fingerprint r3.Runner.fingerprint)
+
 let () =
   Alcotest.run "determinism"
     [
@@ -136,5 +155,6 @@ let () =
         [
           Alcotest.test_case "same seed twice" `Slow test_double_run;
           Alcotest.test_case "seed sensitivity" `Slow test_seed_sensitivity;
+          Alcotest.test_case "chaos scenario twice" `Slow test_chaos_double_run;
         ] );
     ]

@@ -115,7 +115,10 @@ let mock_env () =
   let env =
     {
       Edge_switch.engine;
-      send_controller = (fun m -> to_controller := m :: !to_controller);
+      send_controller =
+        (fun m ->
+          to_controller := m :: !to_controller;
+          true);
       send_peer = (fun p m -> to_peers := (p, m) :: !to_peers);
       send_underlay = (fun p -> to_underlay := p :: !to_underlay);
       deliver_local = (fun h p -> to_hosts := (h, p) :: !to_hosts);
@@ -142,6 +145,37 @@ let data_pkt ~src ~dst = Packet.data ~src ~dst ~length:100 ()
 
 let extensions msgs =
   List.filter_map (function Message.Extension e -> Some e | _ -> None) msgs
+
+(* Strip the reliable-transport framing from a recorded message list: drop
+   acks and dedup retransmitted copies by (epoch, seq). *)
+let unwrap msgs =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (function
+      | Message.Extension (Proto.Ack _) -> None
+      | Message.Extension (Proto.Seq { epoch; seq; payload }) ->
+          if Hashtbl.mem seen (epoch, seq) then None
+          else begin
+            Hashtbl.add seen (epoch, seq) ();
+            Some payload
+          end
+      | m -> Some m)
+    msgs
+
+let unwrap_peers entries =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (to_, m) ->
+      match m with
+      | Message.Extension (Proto.Ack _) -> None
+      | Message.Extension (Proto.Seq { epoch; seq; payload }) ->
+          if Hashtbl.mem seen (to_, epoch, seq) then None
+          else begin
+            Hashtbl.add seen (to_, epoch, seq) ();
+            Some (to_, payload)
+          end
+      | m -> Some (to_, m))
+    entries
 
 let test_fig5_lfib_local_delivery () =
   let sw, r = make_switch () in
@@ -309,7 +343,7 @@ let test_adoption_sends_full_advert () =
       (function
         | to_, Message.Extension (Proto.Lfib_advert d) -> Some (to_, d)
         | _ -> None)
-      !(r.to_peers)
+      (unwrap_peers !(r.to_peers))
   in
   match adverts with
   | [ (to_, d) ] ->
@@ -327,7 +361,7 @@ let test_designated_relays_adverts () =
   Edge_switch.handle_peer_message sw ~from:(sid 0)
     (Message.Extension (Proto.Lfib_advert d));
   (* Relayed to member 2 (not origin 0, not self 1), applied to own G-FIB. *)
-  (match !(r.to_peers) with
+  (match unwrap_peers !(r.to_peers) with
   | [ (to_, Message.Extension (Proto.Lfib_advert _)) ] ->
       check Alcotest.int "relay target" 2 (Ids.Switch_id.to_int to_)
   | _ -> Alcotest.fail "expected one relayed advert");
@@ -340,7 +374,7 @@ let test_designated_relays_adverts () =
   r2.to_peers := [];
   Edge_switch.handle_peer_message sw2 ~from:(sid 1)
     (Message.Extension (Proto.Lfib_advert d));
-  check Alcotest.int "no re-relay" 0 (List.length !(r2.to_peers))
+  check Alcotest.int "no re-relay" 0 (List.length (unwrap_peers !(r2.to_peers)))
 
 let test_state_report_cycle () =
   let sw, r = make_switch ~self:1 () in
@@ -357,7 +391,7 @@ let test_state_report_cycle () =
   Edge_switch.handle_peer_message sw ~from:(sid 0)
     (Message.Extension (Proto.Member_report { origin = sid 0; intensity = [ (sid 2, 5) ] }));
   Edge_switch.flush_report sw;
-  match extensions !(r.to_controller) with
+  match extensions (unwrap !(r.to_controller)) with
   | [ Proto.State_report { deltas; intensity; _ } ] ->
       check Alcotest.int "delta buffered" 1 (List.length deltas);
       (match intensity with
@@ -387,7 +421,7 @@ let test_member_report_to_designated () =
         | to_, Message.Extension (Proto.Member_report { intensity; _ }) ->
             Some (to_, intensity)
         | _ -> None)
-      !(r.to_peers)
+      (unwrap_peers !(r.to_peers))
   in
   match reports with
   | [ (to_, [ (remote, 1) ]) ] ->
@@ -414,7 +448,7 @@ let test_keepalives_and_alarm () =
   let alarms =
     List.filter_map
       (function Proto.Ring_alarm { missing; direction; _ } -> Some (missing, direction) | _ -> None)
-      (extensions !(r.to_controller))
+      (extensions (unwrap !(r.to_controller)))
   in
   check Alcotest.int "two alarms (both neighbours)" 2 (List.length alarms);
   (* Feeding a keep-alive resets the upstream loss. *)
@@ -473,7 +507,7 @@ let test_group_sync_rebuilds () =
   let adverts =
     List.filter
       (function _, Message.Extension (Proto.Lfib_advert { full = true; _ }) -> true | _ -> false)
-      !(r.to_peers)
+      (unwrap_peers !(r.to_peers))
   in
   check Alcotest.bool "rebroadcast" true (List.length adverts >= 2)
 
