@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-json bench chaos clean
+.PHONY: all build test lint lint-check lint-json bench bench-json bench-check chaos clean
 
 all: build
 
@@ -13,16 +13,27 @@ test:
 lint:
 	dune build @lint
 
-# Machine-readable lint report (does not fail on findings; inspect the
-# "clean" field).  Written to _build/lint-report.json.
+# Machine-readable lint report.  Written to _build/lint-report.json.
+# --check makes the exit code track the "clean" field, so a failing tree
+# fails the target while still leaving the report behind for upload.
 lint-json:
 	dune build bin/lazyctrl_lint.exe
-	./_build/default/bin/lazyctrl_lint.exe --root . --json \
-	  > _build/lint-report.json || true
+	./_build/default/bin/lazyctrl_lint.exe --root . --json --check \
+	  > _build/lint-report.json
 	@echo "wrote _build/lint-report.json"
 
 bench:
 	dune exec bench/main.exe
+
+# Perf regression targets -> schema-versioned BENCH_lazyctrl.json.
+bench-json:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe --quick perf --json BENCH_lazyctrl.json
+
+# Gate the current tree against the committed baseline: fails (exit 1)
+# when any target loses more than 15% ops/sec or disappears.
+bench-check: bench-json
+	./_build/default/bench/main.exe compare BENCH_baseline.json BENCH_lazyctrl.json
 
 # Seeded chaos scenario + the loss-rate sweep (robustness regression).
 chaos:

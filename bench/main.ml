@@ -12,6 +12,7 @@
 
 module E = Lazyctrl_experiments
 module Table = Lazyctrl_util.Table
+module Perf = Lazyctrl_perf
 
 let section title =
   Printf.printf "\n=== %s ===\n%!" title
@@ -218,6 +219,252 @@ let t_micro () =
       | _ -> Printf.printf "%-44s (no estimate)\n" name)
     rows
 
+(* --- perf regression targets ------------------------------------------------ *)
+
+(* Fixed-work benchmarks of the simulator's hot primitives, measured by
+   lib/perf and emitted as schema-versioned JSON with --json (the
+   regression gate behind `make bench-check`).  Each target does the
+   same deterministic work every run; only the wall time varies. *)
+
+let perf_results : Perf.Measure.result list ref = ref []
+
+let perf_record r =
+  perf_results := r :: !perf_results;
+  Format.printf "%a@." Perf.Measure.pp_row r
+
+let perf_scale n = if !quick then max 1 (n / 4) else n
+
+let perf_reps () = if !quick then 3 else 5
+
+(* engine-event: schedule/fire throughput of Sim.Engine, including a
+   recurrence timer and nested reschedules — the patterns every
+   simulated switch and controller timer goes through. *)
+let perf_engine_event () =
+  let module Engine = Lazyctrl_sim.Engine in
+  let module Time = Lazyctrl_sim.Time in
+  let n = perf_scale 200_000 in
+  let delays =
+    let rng = Lazyctrl_util.Prng.create 17 in
+    Array.init n (fun _ -> Time.of_ns (Lazyctrl_util.Prng.int rng 1_000_000))
+  in
+  let fired = ref 0 in
+  let workload () =
+    let e = Engine.create () in
+    let tick = Engine.every e ~period:(Time.of_us 10) (fun () -> ()) in
+    let count = ref 0 in
+    Array.iter
+      (fun d ->
+        ignore
+          (Engine.schedule e ~after:d (fun () ->
+               incr count;
+               (* every 8th event reschedules, as protocol handlers do *)
+               if !count land 7 = 0 then
+                 ignore (Engine.schedule e ~after:d (fun () -> ())))))
+      delays;
+    Engine.run e ~until:(Time.of_ms 2);
+    Engine.cancel e tick;
+    Engine.run e;
+    fired := Engine.events_processed e
+  in
+  perf_record
+    (Perf.Measure.run ~name:"engine-event" ~reps:(perf_reps ()) ~ops_per_rep:n
+       ~events:(fun () -> !fired)
+       workload)
+
+(* bloom-query: membership probes on a G-FIB-sized plain filter, mixed
+   hits and misses. *)
+let perf_bloom_query () =
+  let module Bloom = Lazyctrl_bloom.Bloom in
+  let n_probes = perf_scale 400_000 in
+  let bloom = Bloom.create ~bits:(128 * 1024) () in
+  for i = 0 to 8191 do
+    Bloom.add bloom (i * 7919)
+  done;
+  let keys =
+    let rng = Lazyctrl_util.Prng.create 23 in
+    (* ~half present, half absent *)
+    Array.init 65_536 (fun _ ->
+        if Lazyctrl_util.Prng.int rng 2 = 0 then
+          Lazyctrl_util.Prng.int rng 8192 * 7919
+        else 1 + Lazyctrl_util.Prng.int rng 100_000_000)
+  in
+  let mask = Array.length keys - 1 in
+  let sink = ref 0 in
+  let workload () =
+    for i = 0 to n_probes - 1 do
+      if Bloom.mem bloom (Array.unsafe_get keys (i land mask)) then incr sink
+    done
+  in
+  perf_record
+    (Perf.Measure.run ~name:"bloom-query" ~reps:(perf_reps ())
+       ~ops_per_rep:n_probes workload);
+  ignore !sink
+
+(* lfib-lookup: the switch's local fast path — MAC lookups against a
+   64-host L-FIB, mixed local and remote destinations. *)
+let perf_lfib_lookup () =
+  let module Lfib = Lazyctrl_switch.Lfib in
+  let n_lookups = perf_scale 400_000 in
+  let lfib = Lfib.create () in
+  for i = 0 to 63 do
+    ignore
+      (Lfib.learn lfib
+         (Lazyctrl_net.Host.make
+            ~id:(Lazyctrl_net.Ids.Host_id.of_int i)
+            ~tenant:(Lazyctrl_net.Ids.Tenant_id.of_int 0)))
+  done;
+  let macs =
+    let rng = Lazyctrl_util.Prng.create 29 in
+    Array.init 4096 (fun _ ->
+        Lazyctrl_net.Mac.of_host_id (Lazyctrl_util.Prng.int rng 128))
+  in
+  let mask = Array.length macs - 1 in
+  let sink = ref 0 in
+  let workload () =
+    for i = 0 to n_lookups - 1 do
+      match Lfib.lookup_mac lfib (Array.unsafe_get macs (i land mask)) with
+      | Some _ -> incr sink
+      | None -> ()
+    done
+  in
+  perf_record
+    (Perf.Measure.run ~name:"lfib-lookup" ~reps:(perf_reps ())
+       ~ops_per_rep:n_lookups workload);
+  ignore !sink
+
+(* gfib-probe: the intra-group miss path — probe every peer filter of
+   an 8-member group for a destination MAC and visit the candidates. *)
+let perf_gfib_probe () =
+  let module Gfib = Lazyctrl_switch.Gfib in
+  let n_probes = perf_scale 200_000 in
+  let gfib = Gfib.create ~bits_per_entry:128 ~expected_hosts_per_switch:64 () in
+  for peer = 1 to 8 do
+    let keys =
+      List.init 64 (fun i ->
+          let hid = (peer * 1000) + i in
+          {
+            Lazyctrl_switch.Proto.mac = Lazyctrl_net.Mac.of_host_id hid;
+            ip = Lazyctrl_net.Ipv4.of_host_id hid;
+            tenant = Lazyctrl_net.Ids.Tenant_id.of_int 0;
+          })
+    in
+    Gfib.set_peer gfib (Lazyctrl_net.Ids.Switch_id.of_int peer) keys
+  done;
+  let macs =
+    let rng = Lazyctrl_util.Prng.create 31 in
+    Array.init 4096 (fun _ ->
+        let peer = 1 + Lazyctrl_util.Prng.int rng 8 in
+        let i = Lazyctrl_util.Prng.int rng 96 (* 1/3 misses *) in
+        Lazyctrl_net.Mac.of_host_id ((peer * 1000) + i))
+  in
+  let mask = Array.length macs - 1 in
+  let sink = ref 0 in
+  let workload () =
+    for i = 0 to n_probes - 1 do
+      let mac = Array.unsafe_get macs (i land mask) in
+      sink :=
+        !sink + Gfib.iter_candidates_mac gfib mac (fun _ -> ())
+    done
+  in
+  perf_record
+    (Perf.Measure.run ~name:"gfib-probe" ~reps:(perf_reps ())
+       ~ops_per_rep:n_probes workload);
+  ignore !sink
+
+(* packet-replay: end-to-end — a small lazy-mode network, per-tenant
+   traffic, everything from ARP resolution through G-FIB encap to
+   delivery.  Ops are delivered packets; events are engine firings. *)
+let perf_packet_replay () =
+  let module Time = Lazyctrl_sim.Time in
+  let module Network = Lazyctrl_core.Network in
+  let module Placement = Lazyctrl_topo.Placement in
+  let module Topology = Lazyctrl_topo.Topology in
+  let packets_per_flow = if !quick then 6 else 12 in
+  let run_scenario () =
+    let topo =
+      Placement.generate
+        ~rng:(Lazyctrl_util.Prng.create 5)
+        {
+          Placement.n_switches = 8;
+          n_tenants = 4;
+          tenant_size_min = 6;
+          tenant_size_max = 10;
+          racks_per_tenant = 2;
+          stray_fraction = 0.1;
+        }
+    in
+    let net =
+      Network.create ~mode:Network.Lazy ~topo ~horizon:(Time.of_min 5) ()
+    in
+    Network.bootstrap net ();
+    Network.run net ~until:(Time.of_sec 10);
+    List.iter
+      (fun tenant ->
+        match Topology.tenant_hosts topo tenant with
+        | first :: rest ->
+            List.iter
+              (fun (peer : Lazyctrl_net.Host.t) ->
+                Network.start_flow net ~src:first.Lazyctrl_net.Host.id
+                  ~dst:peer.id ~bytes:20_000 ~packets:packets_per_flow)
+              rest
+        | [] -> ())
+      (Topology.tenants topo);
+    Network.run net ~until:(Time.of_min 3);
+    net
+  in
+  (* The scenario is deterministic: size the op count from a dry run. *)
+  let probe = run_scenario () in
+  let delivered =
+    (Network.switch_stats_sum probe).Lazyctrl_switch.Edge_switch
+    .packets_delivered
+  in
+  let events = ref 0 in
+  let workload () =
+    let net = run_scenario () in
+    events := Lazyctrl_sim.Engine.events_processed (Network.engine net)
+  in
+  perf_record
+    (* The dry sizing run above doubles as the warmup; replay is the
+       noisiest target (one rep is a whole scenario, tens of ms), so
+       even --quick takes best-of-4. *)
+    (Perf.Measure.run ~name:"packet-replay" ~warmup:0
+       ~reps:(if !quick then 4 else 5)
+       ~ops_per_rep:(max 1 delivered)
+       ~events:(fun () -> !events)
+       workload)
+
+let t_perf () =
+  section "Perf regression targets (lib/perf; --json FILE for the report)";
+  Printf.printf "%-16s %14s %12s %12s\n" "target" "ops/sec" "ns/op" "B/op";
+  perf_engine_event ();
+  perf_bloom_query ();
+  perf_lfib_lookup ();
+  perf_gfib_probe ();
+  perf_packet_replay ()
+
+(* Just the end-to-end packet-replay perf target: the cheap smoke entry
+   the test suite drives to validate the bench -> JSON -> compare
+   pipeline without paying for the full perf sweep. *)
+let t_perf_replay () =
+  section "Perf: packet-replay only (pipeline smoke target)";
+  Printf.printf "%-16s %14s %12s %12s\n" "target" "ops/sec" "ns/op" "B/op";
+  perf_packet_replay ()
+
+(* --- compare mode ----------------------------------------------------------- *)
+
+let run_compare baseline_path current_path =
+  let load path =
+    match Perf.Report.load path with
+    | Ok results -> results
+    | Error msg ->
+        Printf.eprintf "compare: %s\n" msg;
+        exit 2
+  in
+  let baseline = load baseline_path and current = load current_path in
+  let outcome = Perf.Compare.diff ~baseline ~current () in
+  Format.printf "%a" Perf.Compare.pp outcome;
+  exit (if Perf.Compare.passed outcome then 0 else 1)
+
 (* --- driver ----------------------------------------------------------------- *)
 
 let targets =
@@ -236,23 +483,41 @@ let targets =
     ("ablate-bloom", t_ablate_bloom);
     ("ablate-appendix", t_ablate_appendix);
     ("micro", t_micro);
+    ("perf", t_perf);
+    ("perf-replay", t_perf_replay);
   ]
+
+let write_json_report path =
+  Perf.Report.save path (List.rev !perf_results);
+  Printf.printf "wrote %s (%d targets, schema v%d)\n" path
+    (List.length !perf_results) Perf.Report.schema_version
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let json_path = ref None in
+  let rec strip_flags acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        strip_flags acc rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        strip_flags acc rest
+    | [ "--json" ] ->
+        Printf.eprintf "--json needs a file path\n";
+        exit 2
+    | a :: rest -> strip_flags (a :: acc) rest
   in
-  match args with
+  let args = strip_flags [] args in
+  (match args with
   | [ "--list" ] ->
       List.iter (fun (name, _) -> print_endline name) targets
+  | "compare" :: rest -> (
+      match rest with
+      | [ baseline; current ] -> run_compare baseline current
+      | _ ->
+          Printf.eprintf "usage: compare BASELINE.json CURRENT.json\n";
+          exit 2)
   | [] ->
       print_endline "LazyCtrl experiment suite (all targets; use --list to see them)";
       List.iter (fun (_, f) -> f ()) targets
@@ -264,4 +529,12 @@ let () =
           | None ->
               Printf.eprintf "unknown target %S (use --list)\n" name;
               exit 1)
-        names
+        names);
+  match !json_path with
+  | Some path when not (List.is_empty !perf_results) -> write_json_report path
+  | Some path ->
+      Printf.eprintf
+        "--json %s: no perf targets ran (include \"perf\" in the target list)\n"
+        path;
+      exit 2
+  | None -> ()

@@ -1,16 +1,21 @@
 (* lazyctrl-lint: determinism & protocol-invariant checks for the
    simulator sources.  See README "Static analysis" for the rule list.
 
-   Exit status: 0 when no gating findings, 1 otherwise, 2 on usage error. *)
+   Exit status: by default the tool only reports — it exits 0 whatever
+   it finds, so report-generating pipelines (e.g. [make lint-json]) can
+   archive the output of a failing tree. Pass [--check] to gate: exit 1
+   on gating findings or stale allowlist entries. Exit 2 on usage
+   error. *)
 
 let usage =
-  "lazyctrl_lint [--root DIR] [--allow FILE] [--json] [--rules FAMILIES] \
-   [--list-rules]"
+  "lazyctrl_lint [--root DIR] [--allow FILE] [--json] [--check] \
+   [--rules FAMILIES] [--list-rules]"
 
 let () =
   let root = ref "." in
   let allow = ref ".lazyctrl-lint-allow" in
   let json = ref false in
+  let check = ref false in
   let list_rules = ref false in
   let families = ref None in
   let set_families s =
@@ -42,6 +47,10 @@ let () =
         "FILE allowlist path (default .lazyctrl-lint-allow, relative to \
          --root)" );
       ("--json", Arg.Set json, " emit the report as JSON");
+      ( "--check",
+        Arg.Set check,
+        " exit 1 on gating findings or stale allowlist entries (default: \
+         report only, exit 0)" );
       ( "--rules",
         Arg.String set_families,
         "FAMILIES comma-separated rule families to run (subset of \
@@ -87,4 +96,4 @@ let () =
       (List.length report.Driver.suppressed)
       (List.length report.Driver.stale)
   end;
-  exit (if Driver.clean report then 0 else 1)
+  exit (if (not !check) || Driver.clean report then 0 else 1)

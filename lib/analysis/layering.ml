@@ -28,6 +28,10 @@ let allowed_deps =
     ("util", []);
     ("bloom", []);
     ("net", []);
+    (* The perf measurement layer sits outside the simulation: it may
+       not see (or be seen by) any simulated component, so wall timing
+       can never leak into event ordering. *)
+    ("perf", []);
     ("sim", [ "util" ]);
     ("graph", [ "util" ]);
     ("metrics", [ "util"; "sim" ]);

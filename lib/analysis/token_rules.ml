@@ -90,6 +90,7 @@ let patterns ~file =
     ("Unix.gettimeofday", Rules.d_wall_clock, Finding.Error)
     :: ("Unix.time", Rules.d_wall_clock, Finding.Error)
     :: ("Sys.time", Rules.d_wall_clock, Finding.Error)
+    :: ("Monotonic_clock.now", Rules.d_wall_clock, Finding.Error)
     :: base
 
 let scan ~file ~src =

@@ -1,22 +1,48 @@
-let mix64 z =
-  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
-  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
-  Int64.(logxor z (shift_right_logical z 31))
+(* The bit (and counter) arrays are Bytes, probed with byte-level
+   accessors, and the hashes are native-int multiply-xorshift rounds:
+   unlike [int64 array] reads and [Int64] arithmetic, none of this boxes,
+   so [add]/[mem] allocate nothing. Constants are chosen to fit OCaml's
+   63-bit immediate ints. *)
+
+let mix x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x3C79AC492BA7B653 in
+  x lxor (x lsr 31)
 
 (* Two independent hashes for Kirsch–Mitzenmacher double hashing. *)
-let hash_pair key =
-  let h1 = mix64 (Int64.of_int key) in
-  let h2 = mix64 (Int64.logxor h1 0x9E3779B97F4A7C15L) in
-  (* Force h2 odd so the probe sequence cycles through all positions. *)
-  (Int64.to_int h1 land max_int, (Int64.to_int h2 land max_int) lor 1)
+let hash1 key = mix key land max_int
 
-type t = { words : int64 array; nbits : int; k : int }
+(* Forced odd so the probe step is coprime with the (64-multiple, hence
+   even) table size and the sequence cycles through all positions. One
+   multiply-xorshift round over [h1] suffices here: the step only has to
+   be decorrelated from the base position, not avalanche on its own. *)
+let hash2 h1 =
+  let y = h1 * 0x3C79AC492BA7B653 in
+  ((y lxor (y lsr 32)) land max_int) lor 1
+
+type t = { bits : Bytes.t; nbits : int; mask : int; k : int }
+
+(* Integer division is the single costliest instruction on the probe
+   path, and the sizes that actually occur (the paper's 128 bits/entry
+   G-FIB geometry, powers of two) admit a mask instead. [pow2_mask n] is
+   [n - 1] when [n] is a power of two, else 0 (falling back to [mod]). *)
+let pow2_mask n = if n land (n - 1) = 0 then n - 1 else 0
+
+let reduce h n mask = if mask <> 0 then h land mask else h mod n
 
 let create ?(hashes = 4) ~bits () =
   if bits <= 0 then invalid_arg "Bloom.create: bits must be positive";
   if hashes <= 0 then invalid_arg "Bloom.create: hashes must be positive";
   let nwords = (bits + 63) / 64 in
-  { words = Array.make nwords 0L; nbits = nwords * 64; k = hashes }
+  let nbits = nwords * 64 in
+  {
+    bits = Bytes.make (8 * nwords) '\000';
+    nbits;
+    mask = pow2_mask nbits;
+    k = hashes;
+  }
 
 let optimal_bits ~expected ~fp_rate =
   if expected <= 0 then invalid_arg "Bloom.optimal_bits: expected <= 0";
@@ -37,35 +63,90 @@ let create_for ~expected ~fp_rate =
   let bits = optimal_bits ~expected ~fp_rate in
   create ~hashes:(optimal_hashes ~bits ~expected) ~bits ()
 
-let set_bit t i =
-  let w = i lsr 6 and b = i land 63 in
-  t.words.(w) <- Int64.logor t.words.(w) (Int64.shift_left 1L b)
+(* Bit [i] lives in byte [i lsr 3] at mask [1 lsl (i land 7)] — i.e. the
+   byte array is the little-endian image of the former int64 words, which
+   [to_bytes]/[of_bytes] rely on to keep the wire format. Probe indices
+   are always in [0, nbits), so byte indices are in bounds for the
+   unsafe accessors. *)
 
-let get_bit t i =
-  let w = i lsr 6 and b = i land 63 in
-  Int64.logand (Int64.shift_right_logical t.words.(w) b) 1L <> 0L
+let set_bit t i =
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bits b
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits b) lor (1 lsl (i land 7))))
+
+(* Top-level and fully applied, so the probe loops compile to direct
+   calls: no closure or tuple is allocated per operation. *)
+let rec probe_set bits k n pos step i =
+  if i < k then begin
+    let b = pos lsr 3 in
+    Bytes.unsafe_set bits b
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get bits b) lor (1 lsl (pos land 7))));
+    let pos = pos + step in
+    let pos = if pos >= n then pos - n else pos in
+    probe_set bits k n pos step (i + 1)
+  end
+
+let rec probe_mem bits k n pos step i =
+  i >= k
+  || Char.code (Bytes.unsafe_get bits (pos lsr 3)) land (1 lsl (pos land 7))
+     <> 0
+     &&
+     let pos = pos + step in
+     let pos = if pos >= n then pos - n else pos in
+     probe_mem bits k n pos step (i + 1)
 
 let add t key =
-  let h1, h2 = hash_pair key in
-  for i = 0 to t.k - 1 do
-    set_bit t (((h1 + (i * h2)) land max_int) mod t.nbits)
-  done
+  let h1 = hash1 key in
+  let h2 = hash2 h1 in
+  probe_set t.bits t.k t.nbits
+    (reduce h1 t.nbits t.mask)
+    (reduce h2 t.nbits t.mask)
+    0
+
+let bit_at bits pos =
+  Char.code (Bytes.unsafe_get bits (pos lsr 3)) lsr (pos land 7) land 1
 
 let mem t key =
-  let h1, h2 = hash_pair key in
-  let rec probe i = i >= t.k || (get_bit t (((h1 + (i * h2)) land max_int) mod t.nbits) && probe (i + 1)) in
-  probe 0
+  let h1 = hash1 key in
+  let h2 = hash2 h1 in
+  let mask = t.mask in
+  if mask <> 0 && t.k = 4 then
+    (* Branchless unroll of the common power-of-two, k = 4 geometry: the
+       four loads are independent, so they issue in parallel instead of
+       forming a load→branch→load chain, and only the final test can
+       mispredict. Positions agree with the incremental probe because
+       [(h1 + i*h2) land mask] is congruence-stable under the reduction.
+       (Only [mem] is unrolled: [probe_set] stores, where early exit and
+       load latency don't apply.) *)
+    let bits = t.bits in
+    bit_at bits (h1 land mask)
+    land bit_at bits ((h1 + h2) land mask)
+    land bit_at bits ((h1 + (2 * h2)) land mask)
+    land bit_at bits ((h1 + (3 * h2)) land mask)
+    <> 0
+  else
+    probe_mem t.bits t.k t.nbits (reduce h1 t.nbits mask)
+      (reduce h2 t.nbits mask) 0
 
-let clear t = Array.fill t.words 0 (Array.length t.words) 0L
+let clear t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
 
 let bits t = t.nbits
 let hashes t = t.k
 
 let popcount64 x =
-  let rec go acc x = if x = 0L then acc else go (acc + 1) Int64.(logand x (sub x 1L)) in
+  let rec go acc x =
+    if x = 0L then acc else go (acc + 1) Int64.(logand x (sub x 1L))
+  in
   go 0 x
 
-let ones t = Array.fold_left (fun acc w -> acc + popcount64 w) 0 t.words
+let ones t =
+  let acc = ref 0 in
+  for w = 0 to (Bytes.length t.bits / 8) - 1 do
+    acc := !acc + popcount64 (Bytes.get_int64_le t.bits (8 * w))
+  done;
+  !acc
 
 let fill_ratio t = Float.of_int (ones t) /. Float.of_int t.nbits
 
@@ -82,21 +163,36 @@ let estimated_fp_rate t = fill_ratio t ** Float.of_int t.k
 let union a b =
   if a.nbits <> b.nbits || a.k <> b.k then
     invalid_arg "Bloom.union: mismatched geometry";
-  { a with words = Array.mapi (fun i w -> Int64.logor w b.words.(i)) a.words }
+  let n = Bytes.length a.bits in
+  let bits = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set bits i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get a.bits i)
+         lor Char.code (Bytes.unsafe_get b.bits i)))
+  done;
+  { a with bits }
 
-let copy t = { t with words = Array.copy t.words }
+let copy t = { t with bits = Bytes.copy t.bits }
 
 let of_list ?hashes ~bits keys =
   let t = create ?hashes ~bits () in
   List.iter (add t) keys;
   t
 
+(* Wire form is unchanged from the int64-array days: a big-endian
+   (k, nwords) header followed by the 64-bit words big-endian. Our byte
+   array is the little-endian word image, so each word is one
+   [get_int64_le] / [set_int64_be] pair away. *)
+
 let to_bytes t =
-  let nwords = Array.length t.words in
+  let nwords = Bytes.length t.bits / 8 in
   let buf = Bytes.create (8 + (8 * nwords)) in
   Bytes.set_int32_be buf 0 (Int32.of_int t.k);
   Bytes.set_int32_be buf 4 (Int32.of_int nwords);
-  Array.iteri (fun i w -> Bytes.set_int64_be buf (8 + (8 * i)) w) t.words;
+  for w = 0 to nwords - 1 do
+    Bytes.set_int64_be buf (8 + (8 * w)) (Bytes.get_int64_le t.bits (8 * w))
+  done;
   buf
 
 let of_bytes buf =
@@ -105,10 +201,14 @@ let of_bytes buf =
   let nwords = Int32.to_int (Bytes.get_int32_be buf 4) in
   if k <= 0 || nwords <= 0 || Bytes.length buf <> 8 + (8 * nwords) then
     invalid_arg "Bloom.of_bytes: malformed";
-  let words = Array.init nwords (fun i -> Bytes.get_int64_be buf (8 + (8 * i))) in
-  { words; nbits = nwords * 64; k }
+  let bits = Bytes.create (8 * nwords) in
+  for w = 0 to nwords - 1 do
+    Bytes.set_int64_le bits (8 * w) (Bytes.get_int64_be buf (8 + (8 * w)))
+  done;
+  let nbits = nwords * 64 in
+  { bits; nbits; mask = pow2_mask nbits; k }
 
-let equal a b = a.k = b.k && a.nbits = b.nbits && a.words = b.words
+let equal a b = a.k = b.k && a.nbits = b.nbits && Bytes.equal a.bits b.bits
 
 let pp fmt t =
   Format.fprintf fmt "bloom(bits=%d k=%d fill=%.3f)" t.nbits t.k (fill_ratio t)
@@ -118,7 +218,7 @@ module Counting = struct
 
   let plain_create = create
 
-  type nonrec t = { counters : Bytes.t; n : int; k : int }
+  type nonrec t = { counters : Bytes.t; n : int; mask : int; k : int }
 
   let create ?(hashes = 4) ~counters () =
     if counters <= 0 then invalid_arg "Bloom.Counting.create: size must be positive";
@@ -126,45 +226,67 @@ module Counting = struct
     (* Round up to a multiple of 64 so [to_plain] preserves the probe
        positions ([h mod n] must agree between the two geometries). *)
     let n = (counters + 63) / 64 * 64 in
-    { counters = Bytes.make n '\000'; n; k = hashes }
+    { counters = Bytes.make n '\000'; n; mask = pow2_mask n; k = hashes }
 
-  let bump t i delta =
-    let v = Bytes.get_uint8 t.counters i in
-    (* Saturating: a counter stuck at 255 is never decremented (it may
-       over-approximate, never under-approximate membership). *)
-    let v' =
-      if delta > 0 then min 255 (v + delta)
-      else if v = 255 || v = 0 then v
-      else v + delta
-    in
-    Bytes.set_uint8 t.counters i v'
+  (* Saturating: a counter stuck at 255 is never decremented (it may
+     over-approximate, never under-approximate membership). *)
+  let rec probe_bump counters k n pos step i delta =
+    if i < k then begin
+      let v = Char.code (Bytes.unsafe_get counters pos) in
+      let v' =
+        if delta > 0 then min 255 (v + delta)
+        else if v = 255 || v = 0 then v
+        else v + delta
+      in
+      Bytes.unsafe_set counters pos (Char.unsafe_chr v');
+      let pos = pos + step in
+      let pos = if pos >= n then pos - n else pos in
+      probe_bump counters k n pos step (i + 1) delta
+    end
+
+  let rec probe_mem counters k n pos step i =
+    i >= k
+    || Char.code (Bytes.unsafe_get counters pos) > 0
+       &&
+       let pos = pos + step in
+       let pos = if pos >= n then pos - n else pos in
+       probe_mem counters k n pos step (i + 1)
 
   let add t key =
-    let h1, h2 = hash_pair key in
-    for i = 0 to t.k - 1 do
-      bump t (((h1 + (i * h2)) land max_int) mod t.n) 1
-    done
+    let h1 = hash1 key in
+    let h2 = hash2 h1 in
+    probe_bump t.counters t.k t.n (reduce h1 t.n t.mask) (reduce h2 t.n t.mask)
+      0 1
 
   let remove t key =
-    let h1, h2 = hash_pair key in
-    for i = 0 to t.k - 1 do
-      bump t (((h1 + (i * h2)) land max_int) mod t.n) (-1)
-    done
+    let h1 = hash1 key in
+    let h2 = hash2 h1 in
+    probe_bump t.counters t.k t.n (reduce h1 t.n t.mask) (reduce h2 t.n t.mask)
+      0 (-1)
 
   let mem t key =
-    let h1, h2 = hash_pair key in
-    let rec probe i =
-      i >= t.k
-      || (Bytes.get_uint8 t.counters (((h1 + (i * h2)) land max_int) mod t.n) > 0 && probe (i + 1))
-    in
-    probe 0
+    let h1 = hash1 key in
+    let h2 = hash2 h1 in
+    let mask = t.mask in
+    if mask <> 0 && t.k = 4 then
+      (* Branchless k = 4 unroll, as in the plain [mem]. All four
+         counters must be nonzero; each is at most 255, so the product
+         fits an int and is nonzero exactly when all are. *)
+      let c = t.counters in
+      Char.code (Bytes.unsafe_get c (h1 land mask))
+      * Char.code (Bytes.unsafe_get c ((h1 + h2) land mask))
+      * Char.code (Bytes.unsafe_get c ((h1 + (2 * h2)) land mask))
+      * Char.code (Bytes.unsafe_get c ((h1 + (3 * h2)) land mask))
+      <> 0
+    else
+      probe_mem t.counters t.k t.n (reduce h1 t.n mask) (reduce h2 t.n mask) 0
 
   let clear t = Bytes.fill t.counters 0 t.n '\000'
 
   let to_plain t =
     let plain = plain_create ~hashes:t.k ~bits:t.n () in
     for i = 0 to t.n - 1 do
-      if Bytes.get_uint8 t.counters i > 0 then set_bit plain i
+      if Char.code (Bytes.unsafe_get t.counters i) > 0 then set_bit plain i
     done;
     plain
 end

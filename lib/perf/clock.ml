@@ -1,0 +1,16 @@
+(* The one sanctioned timing sanctuary outside lib/sim/time.ml.
+
+   Benchmark measurement needs real elapsed time, which is exactly what
+   the determinism rules ban everywhere else: simulated state must never
+   depend on the host clock.  This module is therefore the single place
+   the perf layer reads hardware time, it is allowlisted as such in
+   .lazyctrl-lint-allow, and nothing under lib/ outside lib/perf may
+   call it.  The measurements flow one way — out of the process into
+   reports — never back into simulation state.
+
+   CLOCK_MONOTONIC (via bechamel's stub) rather than gettimeofday: bench
+   intervals must not jump when NTP slews the wall clock. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let elapsed_ns ~since = now_ns () - since

@@ -1,0 +1,15 @@
+(** Host monotonic clock — the perf layer's timing sanctuary.
+
+    This is deliberately separate from {!Lazyctrl_sim.Time}: simulated
+    time is deterministic and advances only through the engine, while
+    this clock measures real elapsed nanoseconds for benchmark reports.
+    Nothing outside [lib/perf] (and the bench/test harnesses) may read
+    it; the lazyctrl-lint wall-clock rule enforces that, with this
+    module carrying the one allowlisted justification. *)
+
+val now_ns : unit -> int
+(** Monotonic timestamp in nanoseconds.  Only differences are
+    meaningful. *)
+
+val elapsed_ns : since:int -> int
+(** [elapsed_ns ~since] is [now_ns () - since]. *)

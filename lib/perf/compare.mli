@@ -1,0 +1,36 @@
+(** Bench regression gate: diff two {!Report}s on ops/sec.
+
+    A target fails when its current ops/sec is more than [threshold]
+    (default 0.15) below baseline, or when it vanished from the current
+    run.  Targets new in the current run pass with a note. *)
+
+val default_threshold : float
+
+type verdict = Ok_ | Improved | Regressed | New | Missing
+
+type row = {
+  name : string;
+  baseline_ops : float option;
+  current_ops : float option;
+  ratio : float option;  (** current / baseline *)
+  verdict : verdict;
+}
+
+type outcome = { rows : row list; failures : string list }
+
+val diff :
+  ?threshold:float ->
+  baseline:Measure.result list ->
+  current:Measure.result list ->
+  unit ->
+  outcome
+(** @raise Invalid_argument if [threshold] is outside (0,1). *)
+
+val passed : outcome -> bool
+
+val verdict_label : verdict -> string
+
+val pp_row : Format.formatter -> row -> unit
+
+val pp : Format.formatter -> outcome -> unit
+(** Full table plus a final PASS/FAIL line. *)

@@ -1,0 +1,35 @@
+(** Fixed-work benchmark measurement over the monotonic {!Clock}.
+
+    Unlike the Bechamel OLS harness (kept for exploratory
+    microbenchmarks), this layer runs a fixed workload a fixed number of
+    repetitions and reports the fastest one, which is what
+    machine-readable regression tracking needs: the same invocation
+    does the same work every time. *)
+
+type result = {
+  name : string;  (** stable target identifier, e.g. ["engine-event"] *)
+  ops_per_sec : float;  (** from the fastest repetition *)
+  ns_per_op : float;  (** inverse view of [ops_per_sec] *)
+  alloc_bytes_per_op : float;
+      (** [Gc.allocated_bytes] delta averaged over all repetitions *)
+  events_fired : int;  (** engine events the workload fired; 0 if n/a *)
+}
+
+val run :
+  name:string ->
+  ?warmup:int ->
+  reps:int ->
+  ops_per_rep:int ->
+  ?events:(unit -> int) ->
+  (unit -> unit) ->
+  result
+(** [run ~name ~reps ~ops_per_rep f] times [reps] calls of [f] (after
+    [?warmup] untimed calls, default 1), where one call of [f] performs
+    [ops_per_rep] operations of the target primitive.  [?events]
+    queries the total engine events fired by the workload, sampled once
+    after measurement.
+
+    @raise Invalid_argument if [reps] or [ops_per_rep] is not positive. *)
+
+val pp_row : Format.formatter -> result -> unit
+(** One aligned human-readable table row (no trailing newline). *)

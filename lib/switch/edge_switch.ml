@@ -389,7 +389,7 @@ let designated_group_arp t ~origin packet =
     match eth.payload with
     | Packet.Arp { op = Packet.Request; target_ip; _ } ->
         Option.is_none (Lfib.lookup_ip t.lfib target_ip)
-        && List.is_empty (Gfib.candidates_ip t.gfib target_ip)
+        && not (Gfib.has_candidate_ip t.gfib target_ip)
     | _ -> false
   in
   if unknown_here then
@@ -401,22 +401,21 @@ let handle_arp_request t packet target_ip =
   | Some owner ->
       t.s_arp_local <- t.s_arp_local + 1;
       deliver t owner packet
-  | None -> (
-      match Gfib.candidates_ip t.gfib target_ip with
-      | [] ->
-          t.s_arp_escalated <- t.s_arp_escalated + 1;
-          if is_designated t then designated_group_arp t ~origin:t.self packet
-          else begin
-            match t.group with
-            | Some c ->
-                t.env.send_peer c.designated
-                  (Message.Extension (Proto.Group_arp { origin = t.self; packet }))
-            | None ->
-                (* Ungrouped bootstrap: only the controller can help. *)
-                punt t packet Message.No_match
-          end
-      | candidates ->
-          List.iter (fun sid -> encap_to t sid (Packet.eth_of packet)) candidates)
+  | None ->
+      let eth = Packet.eth_of packet in
+      let n = Gfib.iter_candidates_ip t.gfib target_ip (fun sid -> encap_to t sid eth) in
+      if n = 0 then begin
+        t.s_arp_escalated <- t.s_arp_escalated + 1;
+        if is_designated t then designated_group_arp t ~origin:t.self packet
+        else
+          match t.group with
+          | Some c ->
+              t.env.send_peer c.designated
+                (Message.Extension (Proto.Group_arp { origin = t.self; packet }))
+          | None ->
+              (* Ungrouped bootstrap: only the controller can help. *)
+              punt t packet Message.No_match
+      end
 
 (* --- data path (Fig. 5) --------------------------------------------------- *)
 
@@ -440,11 +439,7 @@ let rec apply_actions t packet actions =
   List.iter
     (function
       | Action.Deliver hid -> (
-          match
-            List.find_opt
-              (fun (h : Host.t) -> Ids.Host_id.equal h.id hid)
-              (Lfib.hosts t.lfib)
-          with
+          match Lfib.lookup_id t.lfib hid with
           | Some h -> deliver t h packet
           | None -> ())
       | Action.Encap ip ->
@@ -470,17 +465,20 @@ and data_path t packet =
       | Some host ->
           t.s_lfib <- t.s_lfib + 1;
           deliver t host packet
-      | None -> (
-          match Gfib.candidates_mac t.gfib eth.dst with
-          | [] -> punt t packet Message.No_match
-          | candidates ->
-              t.s_gfib <- t.s_gfib + 1;
-              t.s_gfib_dup <- t.s_gfib_dup + List.length candidates - 1;
-              List.iter
-                (fun sid ->
-                  count_intensity t sid;
-                  encap_to t sid eth)
-                candidates))
+      | None ->
+          (* Per-packet fast path: probe the peer filters in place — no
+             candidate list is materialized. Zero matches punt, exactly
+             as the list-based code did. *)
+          let n =
+            Gfib.iter_candidates_mac t.gfib eth.dst (fun sid ->
+                count_intensity t sid;
+                encap_to t sid eth)
+          in
+          if n = 0 then punt t packet Message.No_match
+          else begin
+            t.s_gfib <- t.s_gfib + 1;
+            t.s_gfib_dup <- t.s_gfib_dup + n - 1
+          end)
 
 (* --- host-facing entry points --------------------------------------------- *)
 

@@ -5,6 +5,12 @@ type t = {
   bits_per_entry : int;
   expected : int;
   filters : Bloom.Counting.t Ids.Switch_id.Tbl.t;
+  (* Peers sorted ascending by id, rebuilt lazily after membership
+     changes. Per-packet probes walk this array instead of folding and
+     sorting the hashtable, which kept the old implementation both slow
+     and allocating. Counter mutations ([apply_advert] on a known peer)
+     leave the cache valid because entries alias the live filters. *)
+  mutable peer_cache : (Ids.Switch_id.t * Bloom.Counting.t) array option;
 }
 
 let create ?(bits_per_entry = 128) ?(expected_hosts_per_switch = 64) () =
@@ -13,7 +19,22 @@ let create ?(bits_per_entry = 128) ?(expected_hosts_per_switch = 64) () =
     bits_per_entry;
     expected = max 1 expected_hosts_per_switch;
     filters = Ids.Switch_id.Tbl.create 64;
+    peer_cache = None;
   }
+
+let invalidate t = t.peer_cache <- None
+
+let peer_array t =
+  match t.peer_cache with
+  | Some a -> a
+  | None ->
+      let a =
+        Ids.Switch_id.Tbl.fold (fun p f acc -> (p, f) :: acc) t.filters []
+        |> List.sort (fun (a, _) (b, _) -> Ids.Switch_id.compare a b)
+        |> Array.of_list
+      in
+      t.peer_cache <- Some a;
+      a
 
 let fresh_filter t =
   (* Two keys (MAC + IP) per host. *)
@@ -29,7 +50,8 @@ let add_keys filter (keys : Proto.host_key list) =
 let set_peer t peer keys =
   let filter = fresh_filter t in
   add_keys filter keys;
-  Ids.Switch_id.Tbl.replace t.filters peer filter
+  Ids.Switch_id.Tbl.replace t.filters peer filter;
+  invalidate t
 
 let apply_advert t peer ~added ~removed =
   let filter =
@@ -38,6 +60,7 @@ let apply_advert t peer ~added ~removed =
     | None ->
         let f = fresh_filter t in
         Ids.Switch_id.Tbl.replace t.filters peer f;
+        invalidate t;
         f
   in
   add_keys filter added;
@@ -47,22 +70,52 @@ let apply_advert t peer ~added ~removed =
       Bloom.Counting.remove filter (Proto.ip_key k.ip))
     removed
 
-let drop_peer t peer = Ids.Switch_id.Tbl.remove t.filters peer
+let drop_peer t peer =
+  Ids.Switch_id.Tbl.remove t.filters peer;
+  invalidate t
 
-let peers t =
-  Ids.Switch_id.Tbl.fold (fun p _ acc -> p :: acc) t.filters []
-  |> List.sort Ids.Switch_id.compare
-
+let peers t = List.map fst (Array.to_list (peer_array t))
 let n_peers t = Ids.Switch_id.Tbl.length t.filters
 
 let candidates key t =
-  Ids.Switch_id.Tbl.fold
-    (fun p f acc -> if Bloom.Counting.mem f key then p :: acc else acc)
-    t.filters []
-  |> List.sort Ids.Switch_id.compare
+  let a = peer_array t in
+  let acc = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    let p, f = Array.unsafe_get a i in
+    if Bloom.Counting.mem f key then acc := p :: !acc
+  done;
+  !acc
 
 let candidates_mac t mac = candidates (Proto.mac_key mac) t
 let candidates_ip t ip = candidates (Proto.ip_key ip) t
+
+let iter_candidates key t f =
+  let a = peer_array t in
+  let n = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    let p, flt = Array.unsafe_get a i in
+    if Bloom.Counting.mem flt key then begin
+      incr n;
+      f p
+    end
+  done;
+  !n
+
+let iter_candidates_mac t mac f = iter_candidates (Proto.mac_key mac) t f
+let iter_candidates_ip t ip f = iter_candidates (Proto.ip_key ip) t f
+
+let has_candidate key t =
+  let a = peer_array t in
+  let len = Array.length a in
+  let rec go i =
+    i < len
+    &&
+    let _, flt = Array.unsafe_get a i in
+    Bloom.Counting.mem flt key || go (i + 1)
+  in
+  go 0
+
+let has_candidate_ip t ip = has_candidate (Proto.ip_key ip) t
 
 let storage_bytes t =
   (* Reported as the plain-Bloom wire size (bits), as in the paper's
@@ -72,4 +125,6 @@ let storage_bytes t =
     (fun _ f acc -> acc + (Bloom.bits (Bloom.Counting.to_plain f) / 8))
     t.filters 0
 
-let clear t = Ids.Switch_id.Tbl.reset t.filters
+let clear t =
+  Ids.Switch_id.Tbl.reset t.filters;
+  invalidate t

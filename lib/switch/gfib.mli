@@ -34,6 +34,17 @@ val candidates_mac : t -> Mac.t -> Ids.Switch_id.t list
 
 val candidates_ip : t -> Ipv4.t -> Ids.Switch_id.t list
 
+val iter_candidates_mac : t -> Mac.t -> (Ids.Switch_id.t -> unit) -> int
+(** [iter_candidates_mac t mac f] calls [f] on each matching peer in
+    ascending id order — the same visit order as {!candidates_mac} —
+    without building the intermediate list, and returns the number of
+    candidates visited.  This is the per-packet fast path. *)
+
+val iter_candidates_ip : t -> Ipv4.t -> (Ids.Switch_id.t -> unit) -> int
+
+val has_candidate_ip : t -> Ipv4.t -> bool
+(** Does any peer filter claim this IP?  Early-exits on first match. *)
+
 val storage_bytes : t -> int
 (** Total bit-array bytes across peers — the §V-D storage-overhead
     metric. *)

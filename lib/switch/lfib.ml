@@ -42,6 +42,7 @@ let forget t id =
 
 let lookup_mac t mac = Hashtbl.find_opt t.by_mac (Mac.to_int mac)
 let lookup_ip t ip = Hashtbl.find_opt t.by_ip (Ipv4.to_int ip)
+let lookup_id t id = Ids.Host_id.Tbl.find_opt t.by_id id
 let mem_host t id = Ids.Host_id.Tbl.mem t.by_id id
 let size t = Ids.Host_id.Tbl.length t.by_id
 

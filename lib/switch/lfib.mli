@@ -19,6 +19,9 @@ val forget : t -> Ids.Host_id.t -> bool
 
 val lookup_mac : t -> Mac.t -> Host.t option
 val lookup_ip : t -> Ipv4.t -> Host.t option
+
+(** Direct by-id lookup; O(1), unlike scanning {!hosts}. *)
+val lookup_id : t -> Ids.Host_id.t -> Host.t option
 val mem_host : t -> Ids.Host_id.t -> bool
 val size : t -> int
 val hosts : t -> Host.t list

@@ -76,6 +76,122 @@ let to_sorted_list t =
   in
   drain []
 
+module Flat = struct
+  type t = {
+    mutable time : int array;
+    mutable seq : int array;
+    mutable payload : int array;
+    mutable size : int;
+  }
+
+  let create ?(capacity = 16) () =
+    let capacity = max capacity 1 in
+    {
+      time = Array.make capacity 0;
+      seq = Array.make capacity 0;
+      payload = Array.make capacity 0;
+      size = 0;
+    }
+
+  let length t = t.size
+  let is_empty t = t.size = 0
+  let clear t = t.size <- 0
+
+  let grow t =
+    let ncap = 2 * Array.length t.time in
+    let ntime = Array.make ncap 0
+    and nseq = Array.make ncap 0
+    and npayload = Array.make ncap 0 in
+    Array.blit t.time 0 ntime 0 t.size;
+    Array.blit t.seq 0 nseq 0 t.size;
+    Array.blit t.payload 0 npayload 0 t.size;
+    t.time <- ntime;
+    t.seq <- nseq;
+    t.payload <- npayload
+
+  let min_time t =
+    if t.size = 0 then invalid_arg "Heap.Flat.min_time: empty heap";
+    Array.unsafe_get t.time 0
+
+  let min_seq t =
+    if t.size = 0 then invalid_arg "Heap.Flat.min_seq: empty heap";
+    Array.unsafe_get t.seq 0
+
+  let min_payload t =
+    if t.size = 0 then invalid_arg "Heap.Flat.min_payload: empty heap";
+    Array.unsafe_get t.payload 0
+
+  (* Hole-bubbling sift: the inserted/relocated element is kept in
+     registers while parents (resp. smaller children) slide into the
+     hole, halving the array writes of a swap-based sift. All indices
+     stay within [0, size), so unsafe accesses are in bounds. *)
+
+  let push t ~time ~seq ~payload =
+    if t.size = Array.length t.time then grow t;
+    let tm = t.time and sq = t.seq and pl = t.payload in
+    let i = ref t.size in
+    t.size <- t.size + 1;
+    let moving = ref true in
+    while !moving && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      let pt = Array.unsafe_get tm parent in
+      if pt > time || (pt = time && Array.unsafe_get sq parent > seq) then begin
+        Array.unsafe_set tm !i pt;
+        Array.unsafe_set sq !i (Array.unsafe_get sq parent);
+        Array.unsafe_set pl !i (Array.unsafe_get pl parent);
+        i := parent
+      end
+      else moving := false
+    done;
+    Array.unsafe_set tm !i time;
+    Array.unsafe_set sq !i seq;
+    Array.unsafe_set pl !i payload
+
+  let remove_min t =
+    if t.size = 0 then invalid_arg "Heap.Flat.remove_min: empty heap";
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      let tm = t.time and sq = t.seq and pl = t.payload in
+      (* Re-insert the last element at the root, bubbling the hole down
+         toward the leaves. *)
+      let time = Array.unsafe_get tm n
+      and seq = Array.unsafe_get sq n
+      and payload = Array.unsafe_get pl n in
+      let i = ref 0 in
+      let moving = ref true in
+      while !moving do
+        let l = (2 * !i) + 1 in
+        if l >= n then moving := false
+        else begin
+          let r = l + 1 in
+          let c =
+            if r < n then begin
+              let lt = Array.unsafe_get tm l and rt = Array.unsafe_get tm r in
+              if
+                rt < lt
+                || (rt = lt && Array.unsafe_get sq r < Array.unsafe_get sq l)
+              then r
+              else l
+            end
+            else l
+          in
+          let ct = Array.unsafe_get tm c in
+          if ct < time || (ct = time && Array.unsafe_get sq c < seq) then begin
+            Array.unsafe_set tm !i ct;
+            Array.unsafe_set sq !i (Array.unsafe_get sq c);
+            Array.unsafe_set pl !i (Array.unsafe_get pl c);
+            i := c
+          end
+          else moving := false
+        end
+      done;
+      Array.unsafe_set tm !i time;
+      Array.unsafe_set sq !i seq;
+      Array.unsafe_set pl !i payload
+    end
+end
+
 module Indexed = struct
   type t = {
     mutable heap : int array; (* heap position -> key *)

@@ -26,6 +26,37 @@ val clear : 'a t -> unit
 val to_sorted_list : 'a t -> 'a list
 (** Non-destructive: elements in ascending order. O(n log n). *)
 
+module Flat : sig
+  (** Allocation-free binary min-heap over [(time, seq, payload)] integer
+      triples, ordered lexicographically on [(time, seq)]. Backing store
+      is three parallel [int] arrays, so pushes and pops allocate nothing
+      (amortized; the arrays double on growth). Built for the
+      discrete-event scheduler hot path, where the payload is a slot
+      index into the engine's event table. *)
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [create ()] makes an empty heap; [capacity] (default 16) presizes
+      the backing arrays. *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+  val clear : t -> unit
+
+  val push : t -> time:int -> seq:int -> payload:int -> unit
+
+  val min_time : t -> int
+  (** @raise Invalid_argument on an empty heap (also the two below). *)
+
+  val min_seq : t -> int
+  val min_payload : t -> int
+
+  val remove_min : t -> unit
+  (** Drop the minimum element. Read it first via [min_*].
+      @raise Invalid_argument on an empty heap. *)
+end
+
 module Indexed : sig
   (** Max-priority queue over integer keys [0..n-1] with float priorities
       and O(log n) [increase]/[remove]. Keys may be absent. *)

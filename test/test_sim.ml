@@ -135,6 +135,52 @@ let test_engine_every_jitter () =
     [ 15_000_000; 30_000_000 ]
     (List.rev !times)
 
+let test_engine_every_cancel_late () =
+  (* A recurrence that has re-armed many times must still honour its
+     original id: one live instance in [pending], gone after cancel. *)
+  let e = Engine.create () in
+  let count = ref 0 in
+  let id = Engine.every e ~period:(Time.of_ms 1) (fun () -> incr count) in
+  Engine.run ~until:(Time.of_sec 1) e;
+  check Alcotest.int "fired every ms" 1000 !count;
+  check Alcotest.int "one pending instance" 1 (Engine.pending e);
+  Engine.cancel e id;
+  check Alcotest.int "pending after late cancel" 0 (Engine.pending e);
+  Engine.run ~until:(Time.of_sec 2) e;
+  check Alcotest.int "stopped for good" 1000 !count
+
+let test_engine_cancel_after_fire () =
+  (* Cancelling an id that already fired must not decrement [pending]
+     (historically it double-counted) nor kill an unrelated event that
+     reused the same internal slot. *)
+  let e = Engine.create () in
+  let id = Engine.schedule e ~after:(Time.of_ms 1) (fun () -> ()) in
+  ignore (Engine.step e);
+  check Alcotest.int "drained" 0 (Engine.pending e);
+  let fired = ref false in
+  ignore (Engine.schedule e ~after:(Time.of_ms 1) (fun () -> fired := true));
+  Engine.cancel e id;
+  check Alcotest.int "stale cancel is a no-op" 1 (Engine.pending e);
+  Engine.run e;
+  check Alcotest.bool "slot reuser still fires" true !fired;
+  check Alcotest.int "pending settles at zero" 0 (Engine.pending e)
+
+let test_engine_every_self_cancel () =
+  (* A recurrence cancelling itself from inside its own callback must
+     not be re-armed afterwards. *)
+  let e = Engine.create () in
+  let count = ref 0 in
+  let id = ref None in
+  let r =
+    Engine.every e ~period:(Time.of_ms 1) (fun () ->
+        incr count;
+        if !count = 3 then Engine.cancel e (Option.get !id))
+  in
+  id := Some r;
+  Engine.run ~until:(Time.of_ms 100) e;
+  check Alcotest.int "stops at self-cancel" 3 !count;
+  check Alcotest.int "nothing pending" 0 (Engine.pending e)
+
 let test_engine_schedule_at_past () =
   let e = Engine.create () in
   ignore (Engine.schedule e ~after:(Time.of_ms 10) (fun () -> ()));
@@ -198,6 +244,12 @@ let () =
           Alcotest.test_case "run until" `Quick test_engine_run_until;
           Alcotest.test_case "every" `Quick test_engine_every;
           Alcotest.test_case "every with jitter" `Quick test_engine_every_jitter;
+          Alcotest.test_case "every cancel after 1000 firings" `Quick
+            test_engine_every_cancel_late;
+          Alcotest.test_case "cancel after fire" `Quick
+            test_engine_cancel_after_fire;
+          Alcotest.test_case "every self-cancel" `Quick
+            test_engine_every_self_cancel;
           Alcotest.test_case "past rejected" `Quick test_engine_schedule_at_past;
           Alcotest.test_case "step/count" `Quick test_engine_step_and_count;
           test_engine_fuzz;

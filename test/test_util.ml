@@ -143,6 +143,71 @@ let test_heap_peek_pop () =
   Heap.clear h;
   check Alcotest.bool "cleared" true (Heap.is_empty h)
 
+(* The flat triples heap must be observationally identical to the
+   polymorphic heap it replaced in the scheduler: same pop order under
+   lexicographic (time, seq), including the scheduler's lazy-deletion
+   cancel pattern where cancelled entries stay in the heap and are
+   skipped at pop time. *)
+let test_flat_heap_matches_poly =
+  qtest ~count:20 "flat heap matches poly heap under cancels"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let flat = Heap.Flat.create () in
+      let cmp (t1, s1, _) (t2, s2, _) =
+        if t1 <> t2 then Int.compare t1 t2 else Int.compare s1 s2
+      in
+      let poly = Heap.create ~cmp in
+      let cancelled = Hashtbl.create 64 in
+      let seq = ref 0 in
+      let ok = ref true in
+      (* Pop one surviving element from each side, skipping cancelled
+         entries exactly as the engine does, and compare the triples. *)
+      let rec pop_flat () =
+        if Heap.Flat.is_empty flat then None
+        else begin
+          let t = Heap.Flat.min_time flat
+          and s = Heap.Flat.min_seq flat
+          and p = Heap.Flat.min_payload flat in
+          Heap.Flat.remove_min flat;
+          if Hashtbl.mem cancelled s then pop_flat () else Some (t, s, p)
+        end
+      in
+      let rec pop_poly () =
+        match Heap.pop poly with
+        | None -> None
+        | Some ((_, s, _) as e) ->
+            if Hashtbl.mem cancelled s then pop_poly () else Some e
+      in
+      let pop_both () =
+        if Heap.Flat.length flat <> Heap.length poly then ok := false;
+        if pop_flat () <> pop_poly () then ok := false
+      in
+      for _ = 1 to 10_000 do
+        match Prng.int rng 4 with
+        | 0 | 1 ->
+            (* Duplicate times force seq tie-breaking to matter. *)
+            let time = Prng.int rng 512 in
+            let s = !seq in
+            incr seq;
+            Heap.Flat.push flat ~time ~seq:s ~payload:(time lxor s);
+            Heap.push poly (time, s, time lxor s)
+        | 2 ->
+            (* Lazy-deletion cancel of a random previously issued seq
+               (possibly one already popped: then it is a no-op). *)
+            if !seq > 0 then Hashtbl.replace cancelled (Prng.int rng !seq) ()
+        | _ -> pop_both ()
+      done;
+      (* Drain the survivors, then clear. *)
+      let rec drain () =
+        let a = pop_flat () and b = pop_poly () in
+        if a <> b then ok := false;
+        if a <> None || b <> None then drain ()
+      in
+      drain ();
+      Heap.Flat.clear flat;
+      !ok && Heap.Flat.is_empty flat && Heap.Flat.length flat = 0)
+
 let test_indexed_heap_basics () =
   let h = Heap.Indexed.create 10 in
   Heap.Indexed.insert h 3 1.0;
@@ -314,6 +379,7 @@ let () =
           Alcotest.test_case "indexed basics" `Quick test_indexed_heap_basics;
           Alcotest.test_case "indexed adjust down" `Quick test_indexed_heap_adjust_down;
           test_indexed_heap_random;
+          test_flat_heap_matches_poly;
         ] );
       ("union_find", [ Alcotest.test_case "basics" `Quick test_union_find ]);
       ( "stats",
