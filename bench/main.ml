@@ -374,44 +374,46 @@ let perf_gfib_probe () =
 (* packet-replay: end-to-end — a small lazy-mode network, per-tenant
    traffic, everything from ARP resolution through G-FIB encap to
    delivery.  Ops are delivered packets; events are engine firings. *)
-let perf_packet_replay () =
+let replay_scenario ?tracer () =
   let module Time = Lazyctrl_sim.Time in
   let module Network = Lazyctrl_core.Network in
   let module Placement = Lazyctrl_topo.Placement in
   let module Topology = Lazyctrl_topo.Topology in
   let packets_per_flow = if !quick then 6 else 12 in
-  let run_scenario () =
-    let topo =
-      Placement.generate
-        ~rng:(Lazyctrl_util.Prng.create 5)
-        {
-          Placement.n_switches = 8;
-          n_tenants = 4;
-          tenant_size_min = 6;
-          tenant_size_max = 10;
-          racks_per_tenant = 2;
-          stray_fraction = 0.1;
-        }
-    in
-    let net =
-      Network.create ~mode:Network.Lazy ~topo ~horizon:(Time.of_min 5) ()
-    in
-    Network.bootstrap net ();
-    Network.run net ~until:(Time.of_sec 10);
-    List.iter
-      (fun tenant ->
-        match Topology.tenant_hosts topo tenant with
-        | first :: rest ->
-            List.iter
-              (fun (peer : Lazyctrl_net.Host.t) ->
-                Network.start_flow net ~src:first.Lazyctrl_net.Host.id
-                  ~dst:peer.id ~bytes:20_000 ~packets:packets_per_flow)
-              rest
-        | [] -> ())
-      (Topology.tenants topo);
-    Network.run net ~until:(Time.of_min 3);
-    net
+  let topo =
+    Placement.generate
+      ~rng:(Lazyctrl_util.Prng.create 5)
+      {
+        Placement.n_switches = 8;
+        n_tenants = 4;
+        tenant_size_min = 6;
+        tenant_size_max = 10;
+        racks_per_tenant = 2;
+        stray_fraction = 0.1;
+      }
   in
+  let net =
+    Network.create ?tracer ~mode:Network.Lazy ~topo ~horizon:(Time.of_min 5) ()
+  in
+  Network.bootstrap net ();
+  Network.run net ~until:(Time.of_sec 10);
+  List.iter
+    (fun tenant ->
+      match Topology.tenant_hosts topo tenant with
+      | first :: rest ->
+          List.iter
+            (fun (peer : Lazyctrl_net.Host.t) ->
+              Network.start_flow net ~src:first.Lazyctrl_net.Host.id
+                ~dst:peer.id ~bytes:20_000 ~packets:packets_per_flow)
+            rest
+      | [] -> ())
+    (Topology.tenants topo);
+  Network.run net ~until:(Time.of_min 3);
+  net
+
+let perf_packet_replay () =
+  let module Network = Lazyctrl_core.Network in
+  let run_scenario () = replay_scenario () in
   (* The scenario is deterministic: size the op count from a dry run. *)
   let probe = run_scenario () in
   let delivered =
@@ -433,6 +435,45 @@ let perf_packet_replay () =
        ~events:(fun () -> !events)
        workload)
 
+(* trace-overhead: the packet-replay scenario with the flight recorder
+   left disabled (the guard cost every untraced run pays — this row
+   feeds the JSON regression gate, so `make bench-check` holds it to
+   the same threshold as packet-replay against the pre-tracing
+   baseline) and again with an enabled tracer recording every decision
+   point, reported as a ratio. *)
+let perf_trace_overhead () =
+  let module Tracer = Lazyctrl_trace.Tracer in
+  let module Network = Lazyctrl_core.Network in
+  let probe = replay_scenario () in
+  let delivered =
+    (Network.switch_stats_sum probe).Lazyctrl_switch.Edge_switch
+    .packets_delivered
+  in
+  let reps = if !quick then 4 else 5 in
+  let off =
+    Perf.Measure.run ~name:"trace-overhead" ~warmup:0 ~reps
+      ~ops_per_rep:(max 1 delivered)
+      (fun () -> ignore (replay_scenario ()))
+  in
+  perf_record off;
+  let recorded = ref 0 in
+  (* One tracer across reps: the ring allocation is a per-process cost,
+     not a per-run one, and the counters are cumulative anyway. *)
+  let tracer = Tracer.create () in
+  let on =
+    Perf.Measure.run ~name:"trace-overhead-on" ~warmup:0 ~reps
+      ~ops_per_rep:(max 1 delivered)
+      (fun () ->
+        let before = Tracer.recorded tracer in
+        ignore (replay_scenario ~tracer ());
+        recorded := Tracer.recorded tracer - before)
+  in
+  perf_record on;
+  Printf.printf
+    "tracing enabled costs %.1f%% over disabled (%d events recorded/run)\n"
+    (100. *. ((off.Perf.Measure.ops_per_sec /. on.Perf.Measure.ops_per_sec) -. 1.))
+    !recorded
+
 let t_perf () =
   section "Perf regression targets (lib/perf; --json FILE for the report)";
   Printf.printf "%-16s %14s %12s %12s\n" "target" "ops/sec" "ns/op" "B/op";
@@ -440,7 +481,8 @@ let t_perf () =
   perf_bloom_query ();
   perf_lfib_lookup ();
   perf_gfib_probe ();
-  perf_packet_replay ()
+  perf_packet_replay ();
+  perf_trace_overhead ()
 
 (* Just the end-to-end packet-replay perf target: the cheap smoke entry
    the test suite drives to validate the bench -> JSON -> compare
@@ -449,6 +491,12 @@ let t_perf_replay () =
   section "Perf: packet-replay only (pipeline smoke target)";
   Printf.printf "%-16s %14s %12s %12s\n" "target" "ops/sec" "ns/op" "B/op";
   perf_packet_replay ()
+
+(* Just the tracer-overhead target, runnable on its own. *)
+let t_trace_overhead () =
+  section "Perf: flight-recorder overhead (disabled vs enabled)";
+  Printf.printf "%-16s %14s %12s %12s\n" "target" "ops/sec" "ns/op" "B/op";
+  perf_trace_overhead ()
 
 (* --- compare mode ----------------------------------------------------------- *)
 
@@ -485,6 +533,7 @@ let targets =
     ("micro", t_micro);
     ("perf", t_perf);
     ("perf-replay", t_perf_replay);
+    ("trace-overhead", t_trace_overhead);
   ]
 
 let write_json_report path =

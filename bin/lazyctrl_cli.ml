@@ -3,7 +3,9 @@
    Subcommands:
      simulate    run a day-long (or shorter) whole-network simulation
      group       compute a switch grouping for a generated workload
-     trace       generate a trace and print its characteristics
+     workload    generate a traffic trace and print its characteristics
+     trace       flight recorder: record a traced run, summarize or
+                 query a trace file (JSONL / Chrome trace_event)
      experiment  run one of the paper's tables/figures (same targets as
                  bench/main.exe)
      chaos       run a seeded multi-fault chaos scenario with lossy
@@ -181,9 +183,9 @@ let group_cmd =
     (Cmd.info "group" ~doc:"Run SGI's initial grouping on a generated workload.")
     Term.(const group $ seed_arg $ switches_arg $ tenants_arg $ flows_arg $ limit_arg)
 
-(* --- trace ---------------------------------------------------------------------- *)
+(* --- workload ------------------------------------------------------------------- *)
 
-let trace_cmd_run seed switches tenants flows out =
+let workload_run seed switches tenants flows out =
   let topo, trace, _ = build_workload ~seed ~switches ~tenants ~flows ~hours:24 in
   Printf.printf "topology: %d switches, %d hosts, %d tenants\n"
     (Topology.n_switches topo) (Topology.n_hosts topo)
@@ -203,7 +205,7 @@ let trace_cmd_run seed switches tenants flows out =
       Printf.printf "trace written to %s\n" path
   | None -> ()
 
-let trace_cmd =
+let workload_cmd =
   let out =
     Arg.(
       value
@@ -211,8 +213,195 @@ let trace_cmd =
       & info [ "out" ] ~docv:"FILE" ~doc:"Save the trace in binary form.")
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Generate a real-like trace and print its statistics.")
-    Term.(const trace_cmd_run $ seed_arg $ switches_arg $ tenants_arg $ flows_arg $ out)
+    (Cmd.info "workload"
+       ~doc:"Generate a real-like traffic trace and print its statistics.")
+    Term.(const workload_run $ seed_arg $ switches_arg $ tenants_arg $ flows_arg $ out)
+
+(* --- trace (flight recorder) ----------------------------------------------------- *)
+
+module Tracer = Lazyctrl_trace.Tracer
+module Tev = Lazyctrl_trace.Event
+module Tlazy = Lazyctrl_trace.Laziness
+module Texport = Lazyctrl_trace.Export
+
+let load_events path =
+  match Texport.load path with
+  | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1
+  | Ok data -> (
+      (* A Chrome export is one big {"traceEvents": ...} object; JSONL
+         lines each start with an event object's "ts" field. *)
+      let decoded =
+        if String.length data > 0 && String.length (String.trim data) > 0
+           && (String.trim data).[0] = '{'
+           && not (String.length data >= 6 && String.sub data 0 6 = "{\"ts\":")
+        then
+          match Texport.of_chrome data with
+          | Ok _ as ok -> ok
+          | Error _ -> Texport.of_jsonl data
+        else Texport.of_jsonl data
+      in
+      match decoded with
+      | Ok events -> events
+      | Error e ->
+          Printf.eprintf "%s: %s\n" path e;
+          exit 1)
+
+let print_tracer_report tracer =
+  let s = Tracer.summary tracer in
+  Format.printf "%a@." Tlazy.pp_summary s;
+  Printf.printf "recorded %d events (%d buffered, %d evicted)\n"
+    (Tracer.recorded tracer)
+    (List.length (Tracer.events tracer))
+    (Tracer.dropped tracer);
+  print_endline "event counts:";
+  List.iter
+    (fun (label, n) -> Printf.printf "  %-18s %d\n" label n)
+    (Tracer.counts tracer)
+
+let trace_record scenario seed flows sample buffer out chrome =
+  let tracer = Tracer.create ~sample_every:sample ~capacity:buffer () in
+  (match scenario with
+  | "chaos" ->
+      Printf.printf "recording chaos scenario (seed %d)...\n%!" seed;
+      ignore (E.Chaos_exp.run ~tracer ~seed ())
+  | _ ->
+      Printf.printf
+        "recording daylong slice: LazyCtrl (real, dynamic), %d flows (seed %d)...\n%!"
+        flows seed;
+      ignore (E.Daylong.run ~tracer ~seed ~n_flows:flows E.Daylong.Lazy_real_dynamic));
+  let events = Tracer.events tracer in
+  Texport.save out (Texport.to_jsonl events);
+  Printf.printf "wrote %d events to %s\n" (List.length events) out;
+  (match chrome with
+  | Some path ->
+      Texport.save path (Texport.to_chrome events);
+      Printf.printf "wrote Chrome trace_event JSON to %s (open in Perfetto)\n" path
+  | None -> ());
+  print_tracer_report tracer
+
+let trace_summarize file =
+  let events = load_events file in
+  let s = Tlazy.of_events events in
+  Format.printf "%a@." Tlazy.pp_summary s
+
+let trace_query file flow switch kind limit =
+  let events = load_events file in
+  let keep (e : Tev.t) =
+    (match flow with None -> true | Some f -> e.Tev.flow = Some f)
+    && (match switch with None -> true | Some s -> e.Tev.switch = Some s)
+    && match kind with
+       | None -> true
+       | Some k -> String.equal (Tev.kind_label e.Tev.kind) k
+  in
+  let matched = List.filter keep events in
+  let shown =
+    match limit with
+    | Some n when n >= 0 && List.length matched > n ->
+        List.filteri (fun i _ -> i < n) matched
+    | _ -> matched
+  in
+  List.iter (fun e -> Format.printf "%a@." Tev.pp e) shown;
+  Printf.printf "%d of %d events matched%s\n" (List.length matched)
+    (List.length events)
+    (if List.length shown < List.length matched then
+       Printf.sprintf " (showing first %d)" (List.length shown)
+     else "")
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Trace file (JSONL or Chrome trace_event).")
+
+let trace_record_cmd =
+  let scenario =
+    Arg.(
+      value
+      & opt (enum [ ("daylong", "daylong"); ("chaos", "chaos") ]) "daylong"
+      & info [ "scenario" ] ~docv:"SCENARIO"
+          ~doc:"What to record: a daylong Fig. 7 slice or a chaos run.")
+  in
+  let flows =
+    Arg.(
+      value & opt int 20_000
+      & info [ "flows" ] ~docv:"N" ~doc:"Flows in the daylong slice.")
+  in
+  let sample =
+    Arg.(
+      value & opt int 1
+      & info [ "sample" ] ~docv:"N"
+          ~doc:"Record only flows whose id is divisible by $(docv).")
+  in
+  let buffer =
+    Arg.(
+      value & opt int 262_144
+      & info [ "buffer" ] ~docv:"N" ~doc:"Ring-buffer capacity in events.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "lazyctrl-trace.jsonl"
+      & info [ "out" ] ~docv:"FILE" ~doc:"JSONL output path.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Also write a Chrome trace_event file (for Perfetto).")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Run a seeded scenario with the flight recorder on.")
+    Term.(
+      const trace_record $ scenario $ seed_arg $ flows $ sample $ buffer $ out
+      $ chrome)
+
+let trace_summarize_cmd =
+  Cmd.v
+    (Cmd.info "summarize"
+       ~doc:"Fold a trace file into per-flow laziness verdicts.")
+    Term.(const trace_summarize $ trace_file_arg)
+
+let trace_query_cmd =
+  let flow =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flow" ] ~docv:"ID" ~doc:"Only events of this flow id.")
+  in
+  let switch =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "switch" ] ~docv:"ID" ~doc:"Only events at this switch.")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Only events of this kind label (e.g. gfib_probe).")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Print at most $(docv) events.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Filter a trace file by flow, switch or kind.")
+    Term.(const trace_query $ trace_file_arg $ flow $ switch $ kind $ limit)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Flight recorder: record a traced simulation, or summarize / \
+          query an existing trace file.")
+    [ trace_record_cmd; trace_summarize_cmd; trace_query_cmd ]
 
 (* --- experiment ------------------------------------------------------------------ *)
 
@@ -370,4 +559,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ simulate_cmd; group_cmd; trace_cmd; experiment_cmd; chaos_cmd ]))
+          [
+            simulate_cmd;
+            group_cmd;
+            workload_cmd;
+            trace_cmd;
+            experiment_cmd;
+            chaos_cmd;
+          ]))

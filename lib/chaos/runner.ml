@@ -8,6 +8,8 @@ module Prng = Lazyctrl_util.Prng
 module Placement = Lazyctrl_topo.Placement
 module Topology = Lazyctrl_topo.Topology
 module Sid = Ids.Switch_id
+module Tracer = Lazyctrl_trace.Tracer
+module Tev = Lazyctrl_trace.Event
 
 type config = {
   seed : int;
@@ -127,7 +129,7 @@ let placement_spec cfg =
     stray_fraction = 0.05;
   }
 
-let run cfg =
+let run ?(tracer = Tracer.disabled) cfg =
   let rng = Prng.create cfg.seed in
   let topo = Placement.generate ~rng:(Prng.named rng "topo") (placement_spec cfg) in
   let baseline =
@@ -150,7 +152,7 @@ let run cfg =
   let net =
     Network.create ~params
       ~controller_config:(quick_controller_config cfg.reliable)
-      ~mode:Network.Lazy ~topo ~horizon:(Time.of_hour 2) ()
+      ~tracer ~mode:Network.Lazy ~topo ~horizon:(Time.of_hour 2) ()
   in
   let engine = Network.engine net in
   Network.bootstrap net ();
@@ -188,6 +190,25 @@ let run cfg =
       ~n_switches:cfg.n_switches cfg.spec
   in
   Scenario.inject net cfg.spec ~baseline:(baseline, baseline) events;
+  (* Mirror every fault's onset and repair into the flight recorder, at
+     the same engine times the scenario injector uses (offsets from the
+     injection instant). *)
+  if Tracer.enabled tracer then begin
+    let emit_fault e phase =
+      Tracer.emit tracer ~now:(Engine.now engine)
+        ~switch:(Sid.to_int e.Fault.primary)
+        (Tev.Chaos_fault { fault = Fault.kind_label e.Fault.kind; phase })
+    in
+    List.iter
+      (fun e ->
+        ignore
+          (Engine.schedule engine ~after:e.Fault.at (fun () ->
+               emit_fault e "onset"));
+        ignore
+          (Engine.schedule engine ~after:(Fault.repair_at e) (fun () ->
+               emit_fault e "repair")))
+      events
+  end;
   let repair_done = Time.add (Engine.now engine) (Scenario.last_repair events) in
   Network.run net ~until:(Time.add repair_done (Time.of_ms 1));
   let deadline = Time.add repair_done cfg.settle in

@@ -46,4 +46,7 @@ type result = {
 
 val delivery_ratio : Network.link_totals -> float
 
-val run : config -> result
+val run : ?tracer:Lazyctrl_trace.Tracer.t -> config -> result
+(** [tracer] (default disabled) flight-records the run: it is threaded
+    into the network planes and additionally receives a [Chaos_fault]
+    event at each fault's onset and repair time. *)

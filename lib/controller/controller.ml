@@ -7,6 +7,8 @@ open Lazyctrl_switch
 module Prng = Lazyctrl_util.Prng
 module Det = Lazyctrl_util.Det
 module Sid = Ids.Switch_id
+module Tracer = Lazyctrl_trace.Tracer
+module Tev = Lazyctrl_trace.Event
 
 type msg = Proto.t Message.t
 
@@ -76,6 +78,7 @@ type stats = {
 type t = {
   env : env;
   config : config;
+  tracer : Tracer.t;
   n_switches : int;
   clib : Clib.t;
   monitor : Failover.Monitor.t;
@@ -109,10 +112,11 @@ type t = {
   mutable s_preloads : int;
 }
 
-let create env config ~n_switches =
+let create ?(tracer = Tracer.disabled) env config ~n_switches =
   {
     env;
     config;
+    tracer;
     n_switches;
     clib = Clib.create ();
     monitor = Failover.Monitor.create env.engine ~echo_timeout:config.echo_timeout;
@@ -155,8 +159,23 @@ let set_failover_hook t f = t.failover_hook <- f
 
 let now t = Engine.now t.env.engine
 
-let request t =
+(* Flight-recorder shorthand (no-op when tracing is disabled). *)
+let trace t ?flow ?switch kind =
+  if Tracer.enabled t.tracer then
+    Tracer.emit t.tracer ~now:(now t) ?flow ?switch kind
+
+let trace_pkt t ~from packet kind =
+  if Tracer.enabled t.tracer then
+    Tracer.emit t.tracer ~now:(now t)
+      ?flow:(Tracer.flow_of_packet packet)
+      ~switch:(Sid.to_int from) kind
+
+(* [kind] names what is being charged to the controller's workload
+   budget; with tracing on, every charge is also a [Ctrl_request] event,
+   so trace totals can be cross-checked against the recorder's. *)
+let request t kind =
   t.requests_total <- t.requests_total + 1;
+  if Tracer.enabled t.tracer then trace t (Tev.Ctrl_request kind);
   t.request_hook ()
 
 let send t sw msg = t.env.send_switch sw msg
@@ -167,7 +186,7 @@ let session t sw =
   | Some s -> s
   | None ->
       let s =
-        Reliable.create t.env.engine t.config.retrans
+        Reliable.create ~tracer:t.tracer t.env.engine t.config.retrans
           ~send_data:(fun ~epoch ~seq payload ->
             send t sw (Message.Extension (Proto.Seq { epoch; seq; payload })))
           ~send_ack:(fun ~epoch ~cum ->
@@ -371,6 +390,9 @@ let run_inc_updates t =
       let improved = improved && significant in
       if improved then begin
         apply_grouping t g';
+        if Tracer.enabled t.tracer then
+          trace t
+            (Tev.Regroup { full = false; groups = Grouping.n_groups g' });
         t.s_updates <- t.s_updates + 1;
         t.update_hook ();
         t.last_update_time <- now t;
@@ -381,6 +403,8 @@ let run_full_regroup t =
   let intensity = current_intensity t in
   let g = Sgi.ini_group ~rng:t.env.rng ~limit:t.config.group_size_limit intensity in
   apply_grouping t g;
+  if Tracer.enabled t.tracer then
+    trace t (Tev.Regroup { full = true; groups = Grouping.n_groups g });
   t.s_full_regroups <- t.s_full_regroups + 1;
   t.s_updates <- t.s_updates + 1;
   t.update_hook ();
@@ -418,9 +442,24 @@ let reselect_designated t (cfg : Proto.group_config) ~exclude =
       in
       push_group t cfg'
 
+let verdict_trace_label (v : Failover.verdict) =
+  match v with
+  | Failover.Healthy -> "healthy"
+  | Failover.Ambiguous -> "ambiguous"
+  | Failover.Control_link_failure -> "control_link_failure"
+  | Failover.Peer_link_up_failure -> "peer_link_up_failure"
+  | Failover.Peer_link_down_failure -> "peer_link_down_failure"
+  | Failover.Switch_failure -> "switch_failure"
+
 let handle_verdict t sw verdict =
   let open Failover in
-  (match verdict with Healthy -> () | v -> t.failover_hook sw v);
+  (match verdict with
+  | Healthy -> ()
+  | v ->
+      if Tracer.enabled t.tracer then
+        trace t ~switch:(Sid.to_int sw)
+          (Tev.Failover (verdict_trace_label v));
+      t.failover_hook sw v);
   match verdict with
   | Healthy | Ambiguous -> ()
   | Control_link_failure -> (
@@ -530,6 +569,7 @@ let designated_of_group t gid =
   !found
 
 let relay_arp t ~origin packet =
+  trace t ~switch:(Sid.to_int origin) Tev.Ctrl_arp_relay;
   let eth = Packet.eth_of packet in
   match target_ip_of_arp eth with
   | None -> ()
@@ -577,6 +617,8 @@ let install_forwarding t ~from ~target packet =
       cookie = 1;
     }
   in
+  if Tracer.enabled t.tracer then
+    trace_pkt t ~from packet (Tev.Ctrl_install (Sid.to_int target));
   flow_mod t from entry;
   packet_out t from packet [ Action.Encap (underlay_ip_of target) ];
   note_intensity t from target 1.0
@@ -584,6 +626,7 @@ let install_forwarding t ~from ~target packet =
 let flood_tenant t ~from packet =
   let eth = Packet.eth_of packet in
   t.s_floods <- t.s_floods + 1;
+  trace_pkt t ~from packet Tev.Ctrl_flood;
   let targets =
     match Clib.tenant_of_mac t.clib eth.Packet.src with
     | Some tenant -> Clib.switches_of_tenant t.clib tenant
@@ -597,6 +640,7 @@ let flood_tenant t ~from packet =
 
 let handle_packet_in t ~from packet =
   t.s_packet_ins <- t.s_packet_ins + 1;
+  trace_pkt t ~from packet Tev.Ctrl_packet_in;
   let eth = Packet.eth_of packet in
   match eth.Packet.payload with
   | Packet.Arp { op = Packet.Request; _ } -> relay_arp t ~origin:from packet
@@ -620,7 +664,7 @@ let rec handle_message t ~from msg =
   | _ -> ());
   match msg with
   | Message.Packet_in { packet; _ } ->
-      request t;
+      request t "packet_in";
       handle_packet_in t ~from packet
   | Message.Echo_reply _ ->
       Failover.Monitor.echo_received t.monitor from;
@@ -633,25 +677,25 @@ let rec handle_message t ~from msg =
   | Message.Extension ext -> (
       match ext with
       | Proto.State_report { deltas; intensity; _ } ->
-          request t;
+          request t "state_report";
           t.s_state_reports <- t.s_state_reports + 1;
           List.iter (Clib.apply_delta t.clib) deltas;
           List.iter
             (fun (a, b, count) -> note_intensity t a b (Float.of_int count))
             intensity
       | Proto.Arp_escalate { origin; packet } ->
-          request t;
+          request t "arp_escalate";
           t.s_arp_escalations <- t.s_arp_escalations + 1;
           relay_arp t ~origin packet
       | Proto.Ring_alarm { missing; direction; _ } ->
-          request t;
+          request t "ring_alarm";
           t.s_ring_alarms <- t.s_ring_alarms + 1;
           (* Evidence only; correlated losses are judged at the next daemon
              tick so a failing switch's two ring alarms are not each
              misread as independent peer-link failures. *)
           Failover.Monitor.ring_alarm t.monitor ~missing ~direction
       | Proto.False_positive { at; dst } -> (
-          request t;
+          request t "false_positive";
           (* §III-D4: pin the true location so the same destination stops
              being misdelivered. *)
           match Clib.locate_mac t.clib dst with
@@ -668,7 +712,7 @@ let rec handle_message t ~from msg =
           | _ -> ())
       | Proto.Relay { origin; boxed } -> handle_message t ~from:origin boxed
       | Proto.Lfib_advert d ->
-          request t;
+          request t "lfib_advert";
           Clib.apply_delta t.clib d
       | Proto.Seq { epoch; seq; payload } ->
           List.iter

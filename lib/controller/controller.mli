@@ -73,7 +73,11 @@ type stats = {
 
 type t
 
-val create : env -> config -> n_switches:int -> t
+val create :
+  ?tracer:Lazyctrl_trace.Tracer.t -> env -> config -> n_switches:int -> t
+(** [tracer] (default disabled) receives a flight-recorder event per
+    controller request, C-LIB lookup outcome (install / flood / ARP
+    relay), regroup, and failover verdict. *)
 
 val bootstrap : t -> intensity:Wgraph.t -> unit
 (** Initial grouping from history statistics (the paper seeds SGI with the

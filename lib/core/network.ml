@@ -11,6 +11,7 @@ open Lazyctrl_metrics
 module Prng = Lazyctrl_util.Prng
 module Det = Lazyctrl_util.Det
 module Sid = Ids.Switch_id
+module Tracer = Lazyctrl_trace.Tracer
 
 type mode = Lazy | Openflow
 
@@ -38,6 +39,7 @@ type plane = Lazy_plane of lazy_plane | Of_plane of of_plane
 type t = {
   params : Params.t;
   engine : Engine.t;
+  tracer : Tracer.t;
   topo : Topology.t;
   underlay : Underlay.t;
   recorder : Recorder.t;
@@ -47,6 +49,7 @@ type t = {
 
 let engine t = t.engine
 let recorder t = t.recorder
+let tracer t = t.tracer
 let topology t = t.topo
 let host_model t = t.hosts
 let underlay t = t.underlay
@@ -83,7 +86,7 @@ let apply_loss loss_rng spec ch =
   | Some spec ->
       Channel.set_loss ch ~rng:(Prng.named loss_rng ("loss:" ^ Channel.name ch)) spec
 
-let make_lazy_plane ~params ~controller_config ~engine ~topo ~underlay
+let make_lazy_plane ~params ~controller_config ~tracer ~engine ~topo ~underlay
     ~deliver_local =
   let n = Topology.n_switches topo in
   let rng = Prng.create params.Params.seed in
@@ -171,7 +174,9 @@ let make_lazy_plane ~params ~controller_config ~engine ~topo ~underlay
       rng = Prng.named rng "controller";
     }
   in
-  let controller = Controller.create controller_env controller_config ~n_switches:n in
+  let controller =
+    Controller.create ~tracer controller_env controller_config ~n_switches:n
+  in
   controller_ref := Some controller;
   Array.iteri
     (fun i ch ->
@@ -194,7 +199,7 @@ let make_lazy_plane ~params ~controller_config ~engine ~topo ~underlay
         underlay_ip_of = (fun sw -> Topology.underlay_ip topo sw);
       }
     in
-    let sw = Edge_switch.create env params.Params.switch_config ~self in
+    let sw = Edge_switch.create ~tracer env params.Params.switch_config ~self in
     switches.(i) <- Some sw;
     Underlay.register underlay (Topology.underlay_ip topo self) (fun pkt ->
         Edge_switch.handle_underlay sw pkt);
@@ -274,7 +279,8 @@ let make_of_plane ~params ~of_config ~engine ~topo ~underlay ~deliver_local =
 
 let create ?(params = Params.default)
     ?(controller_config = Controller.default_config)
-    ?(of_config = Of_controller.default_config) ~mode ~topo ~horizon () =
+    ?(of_config = Of_controller.default_config)
+    ?(tracer = Tracer.disabled) ~mode ~topo ~horizon () =
   let engine = Engine.create () in
   let underlay =
     Underlay.create engine ~latency:params.Params.underlay_latency ()
@@ -302,14 +308,14 @@ let create ?(params = Params.default)
     match mode with
     | Lazy ->
         Lazy_plane
-          (make_lazy_plane ~params ~controller_config ~engine ~topo ~underlay
-             ~deliver_local)
+          (make_lazy_plane ~params ~controller_config ~tracer ~engine ~topo
+             ~underlay ~deliver_local)
     | Openflow ->
         Of_plane
           (make_of_plane ~params ~of_config ~engine ~topo ~underlay
              ~deliver_local)
   in
-  let t = { params; engine; topo; underlay; recorder; hosts; plane } in
+  let t = { params; engine; tracer; topo; underlay; recorder; hosts; plane } in
   t_ref := Some t;
   (* Host frames enter the network at the host's current edge switch after
      the port latency. *)

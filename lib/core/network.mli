@@ -26,16 +26,24 @@ val create :
   ?params:Params.t ->
   ?controller_config:Controller.config ->
   ?of_config:Of_controller.config ->
+  ?tracer:Lazyctrl_trace.Tracer.t ->
   mode:mode ->
   topo:Topology.t ->
   horizon:Time.t ->
   unit ->
   t
 (** Builds switches, channels, controller and host model; attaches every
-    host in the topology to its edge switch. *)
+    host in the topology to its edge switch.  [tracer] (default
+    disabled) is threaded through the lazy plane — edge switches,
+    controller, reliable sessions — so a run can be flight-recorded;
+    the baseline OpenFlow plane is not instrumented. *)
 
 val engine : t -> Engine.t
 val recorder : t -> Recorder.t
+
+val tracer : t -> Lazyctrl_trace.Tracer.t
+(** The tracer passed at creation (or the disabled singleton). *)
+
 val topology : t -> Topology.t
 val mode : t -> mode
 val host_model : t -> Host_model.t

@@ -15,6 +15,9 @@ let config ~seed ~loss ~reliable =
 
 let mode_label reliable = if reliable then "reliable" else "fire-and-forget"
 
+let run ?tracer ?(seed = 42) ?(loss = 0.05) ?(reliable = true) () =
+  Runner.run ?tracer (config ~seed ~loss ~reliable)
+
 let table ?(seed = 42) ?(losses = [ 0.0; 0.02; 0.05; 0.10 ]) () =
   let tbl =
     Table.create

@@ -9,4 +9,15 @@
 
 module Table = Lazyctrl_util.Table
 
+val run :
+  ?tracer:Lazyctrl_trace.Tracer.t ->
+  ?seed:int ->
+  ?loss:float ->
+  ?reliable:bool ->
+  unit ->
+  Lazyctrl_chaos.Runner.result
+(** One cell of the sweep on its own — the entry point for
+    flight-recorded chaos runs ([lazyctrl trace record --chaos]).
+    Defaults: seed 42, 5% loss, reliable delivery. *)
+
 val table : ?seed:int -> ?losses:float list -> unit -> Table.t

@@ -53,9 +53,13 @@ let sim_controller_config ~incremental =
 
 let memo : (string, run_result) Hashtbl.t = Hashtbl.create 8
 
-let run ?(seed = 42) ?(n_flows = 120_000) name =
+let run ?tracer ?(seed = 42) ?(n_flows = 120_000) name =
   let key = Printf.sprintf "%s/%d/%d" (config_label name) seed n_flows in
-  match Hashtbl.find_opt memo key with
+  (* A flight-recorded run is never memoized: the caller wants the
+     tracer filled, and sharing a cached result would leave it empty
+     (and would also break double-run determinism checks). *)
+  let memoize = Option.is_none tracer in
+  match if memoize then Hashtbl.find_opt memo key else None with
   | Some r -> r
   | None ->
       let topo = Workloads.sim_topo ~seed in
@@ -76,7 +80,7 @@ let run ?(seed = 42) ?(n_flows = 120_000) name =
       let net =
         Network.create ~params
           ~controller_config:(sim_controller_config ~incremental)
-          ~mode ~topo ~horizon:Workloads.horizon ()
+          ?tracer ~mode ~topo ~horizon:Workloads.horizon ()
       in
       (* Initial grouping from the first hour of (historical) traffic, as
          in §V-D. *)
@@ -100,7 +104,7 @@ let run ?(seed = 42) ?(n_flows = 120_000) name =
           flows_started = Host_model.flows_started (Network.host_model net);
         }
       in
-      Hashtbl.replace memo key r;
+      if memoize then Hashtbl.replace memo key r;
       r
 
 let fig7_table ?seed ?n_flows () =

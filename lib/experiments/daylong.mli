@@ -27,9 +27,16 @@ type run_result = {
   flows_started : int;
 }
 
-val run : ?seed:int -> ?n_flows:int -> config_name -> run_result
+val run :
+  ?tracer:Lazyctrl_trace.Tracer.t ->
+  ?seed:int ->
+  ?n_flows:int ->
+  config_name ->
+  run_result
 (** Default: seed 42, 120k flows (a 1/2258 sampling of the paper's 271M;
-    see EXPERIMENTS.md). *)
+    see EXPERIMENTS.md).  Results are memoized per
+    [(config, seed, n_flows)] — except when [tracer] is given, which
+    always performs a fresh, flight-recorded run. *)
 
 val fig7_table : ?seed:int -> ?n_flows:int -> unit -> Lazyctrl_util.Table.t
 (** Controller workload (requests/s) per 2-hour bucket for all five

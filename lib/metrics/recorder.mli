@@ -22,7 +22,11 @@ val record_first_packet_latency : t -> Time.t -> unit
 
 val record_fast_path_latency : t -> n:int -> Time.t -> unit
 (** [n] subsequent packets of a flow taking the data-plane fast path (they
-    are accounted in bulk, not individually simulated). *)
+    are accounted in bulk, not individually simulated).  All [n] packets
+    are attributed to the bucket containing the current engine time — the
+    flow's first-delivery time — even when the flow's lifetime straddles a
+    bucket boundary; times past the horizon clamp into the final bucket.
+    Pinned by the bulk-accounting cases in [test/test_metrics.ml]. *)
 
 val workload_rps : t -> float array
 (** Requests per second of simulated time, per bucket. *)

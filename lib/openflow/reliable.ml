@@ -58,6 +58,7 @@ let stats_add a b =
 type 'a t = {
   engine : Engine.t;
   config : config;
+  tracer : Lazyctrl_trace.Tracer.t;
   send_data : epoch:int -> seq:int -> 'a -> unit;
   send_ack : epoch:int -> cum:int -> unit;
   ep_name : string;
@@ -86,10 +87,12 @@ type 'a t = {
   mutable s_violations : int;
 }
 
-let create engine config ~send_data ~send_ack ~name () =
+let create ?(tracer = Lazyctrl_trace.Tracer.disabled) engine config ~send_data
+    ~send_ack ~name () =
   {
     engine;
     config;
+    tracer;
     send_data;
     send_ack;
     ep_name = name;
@@ -147,11 +150,17 @@ and on_timeout t =
          is presumed dead and the anti-entropy re-sync on reconnect will
          reconcile state instead. *)
       t.gave_up <- true;
-      t.s_give_ups <- t.s_give_ups + 1
+      t.s_give_ups <- t.s_give_ups + 1;
+      if Lazyctrl_trace.Tracer.enabled t.tracer then
+        Lazyctrl_trace.Tracer.emit t.tracer ~now:(Engine.now t.engine)
+          (Lazyctrl_trace.Event.Reliable_giveup t.ep_name)
     end
     else begin
       t.attempts <- t.attempts + 1;
       t.s_retransmits <- t.s_retransmits + Queue.length t.unacked;
+      if Lazyctrl_trace.Tracer.enabled t.tracer then
+        Lazyctrl_trace.Tracer.emit t.tracer ~now:(Engine.now t.engine)
+          (Lazyctrl_trace.Event.Retransmit t.ep_name);
       Queue.iter
         (fun (seq, payload) -> t.send_data ~epoch:t.epoch ~seq payload)
         t.unacked;

@@ -45,6 +45,7 @@ val stats_add : stats -> stats -> stats
 type 'a t
 
 val create :
+  ?tracer:Lazyctrl_trace.Tracer.t ->
   Engine.t ->
   config ->
   send_data:(epoch:int -> seq:int -> 'a -> unit) ->
@@ -53,7 +54,9 @@ val create :
   unit ->
   'a t
 (** [send_data]/[send_ack] put a numbered payload / cumulative ack on the
-    wire (typically via a lossy {!Channel}); they must not raise. *)
+    wire (typically via a lossy {!Channel}); they must not raise.
+    [tracer] (default disabled) records retransmits and give-ups as
+    flight-recorder events. *)
 
 val name : 'a t -> string
 

@@ -2,6 +2,8 @@ open Lazyctrl_net
 open Lazyctrl_sim
 open Lazyctrl_openflow
 module Det = Lazyctrl_util.Det
+module Tracer = Lazyctrl_trace.Tracer
+module Tev = Lazyctrl_trace.Event
 
 type msg = Proto.t Message.t
 
@@ -61,6 +63,7 @@ type designated_state = {
 type t = {
   env : env;
   config : config;
+  tracer : Tracer.t;
   self : Ids.Switch_id.t;
   lfib : Lfib.t;
   gfib : Gfib.t;
@@ -101,10 +104,11 @@ type t = {
   mutable s_miss_replayed : int;
 }
 
-let create env config ~self =
+let create ?(tracer = Tracer.disabled) env config ~self =
   {
     env;
     config;
+    tracer;
     self;
     lfib = Lfib.create ();
     gfib =
@@ -159,6 +163,23 @@ let is_designated t =
 
 let now t = Engine.now t.env.engine
 
+(* Flight-recorder shorthand.  [Tracer.emit] is a no-op when disabled;
+   call sites that build an event payload (e.g. [Tev.Gfib_probe n])
+   additionally guard on [Tracer.enabled] so the disabled fast path
+   allocates nothing. *)
+let trace t kind =
+  if Tracer.enabled t.tracer then
+    Tracer.emit t.tracer ~now:(now t)
+      ~switch:(Ids.Switch_id.to_int t.self)
+      kind
+
+let trace_pkt t packet kind =
+  if Tracer.enabled t.tracer then
+    Tracer.emit t.tracer ~now:(now t)
+      ?flow:(Tracer.flow_of_packet packet)
+      ~switch:(Ids.Switch_id.to_int t.self)
+      kind
+
 (* Raw control-link transmission (or relay through a ring neighbour);
    [false] flags a dead control link, which arms the reconnect re-sync. *)
 let raw_send_controller t msg =
@@ -182,7 +203,7 @@ let ctrl_session t =
   | Some s -> s
   | None ->
       let s =
-        Reliable.create t.env.engine t.config.retrans
+        Reliable.create ~tracer:t.tracer t.env.engine t.config.retrans
           ~send_data:(fun ~epoch ~seq payload ->
             send_controller t (Message.Extension (Proto.Seq { epoch; seq; payload })))
           ~send_ack:(fun ~epoch ~cum ->
@@ -199,7 +220,7 @@ let peer_session t sid =
   | Some s -> s
   | None ->
       let s =
-        Reliable.create t.env.engine t.config.retrans
+        Reliable.create ~tracer:t.tracer t.env.engine t.config.retrans
           ~send_data:(fun ~epoch ~seq payload ->
             t.env.send_peer sid
               (Message.Extension (Proto.Seq { epoch; seq; payload })))
@@ -225,6 +246,7 @@ let send_state_peer t sid msg =
 
 let deliver t host pkt =
   t.s_delivered <- t.s_delivered + 1;
+  trace_pkt t pkt Tev.Deliver;
   t.env.deliver_local host pkt
 
 (* The underlay address encoding is global knowledge (172.16/12 + switch
@@ -248,6 +270,12 @@ let encap_to t sid eth =
 
 let punt t packet reason =
   t.s_punted <- t.s_punted + 1;
+  if Tracer.enabled t.tracer then
+    trace_pkt t packet
+      (Tev.Punt
+         (match reason with
+         | Message.No_match -> "no_match"
+         | Message.Action_punt -> "action_punt"));
   if not (raw_send_controller t (Message.Packet_in { packet; reason })) then
     (* Graceful degradation: the controller is unreachable, so the miss
        cannot be resolved now. Intra-group traffic keeps flowing from the
@@ -287,10 +315,12 @@ let group_members_except t except =
 (* Relay an advert to every other member and buffer it for the next state
    report to the controller. *)
 let designated_handle_advert t (d : Proto.lfib_delta) ~relay =
-  if relay then
+  if relay then begin
+    if Tracer.enabled t.tracer then trace t (Tev.Designated_relay "advert");
     List.iter
       (fun m -> send_state_peer t m (Message.Extension (Proto.Lfib_advert d)))
-      (group_members_except t [ t.self; d.origin ]);
+      (group_members_except t [ t.self; d.origin ])
+  end;
   buffer_delta t d
 
 let apply_advert_to_gfib t (d : Proto.lfib_delta) =
@@ -313,6 +343,8 @@ let send_state_report t =
   match t.group with
   | None -> ()
   | Some c ->
+      if Tracer.enabled t.tracer then
+        trace t (Tev.Designated_relay "state_report");
       merge_intensity t t.self (take_own_intensity t);
       let ds = t.designated_state in
       let intensity =
@@ -375,6 +407,7 @@ let try_answer_arp t packet =
   | None -> false
 
 let designated_group_arp t ~origin packet =
+  if Tracer.enabled t.tracer then trace t (Tev.Designated_relay "group_arp");
   (* Broadcast inside the group; every member checks its L-FIB. *)
   List.iter
     (fun m ->
@@ -392,24 +425,29 @@ let designated_group_arp t ~origin packet =
         && not (Gfib.has_candidate_ip t.gfib target_ip)
     | _ -> false
   in
-  if unknown_here then
+  if unknown_here then begin
+    trace t Tev.Arp_escalate;
     send_controller t
       (Message.Extension (Proto.Arp_escalate { origin; packet }))
+  end
 
 let handle_arp_request t packet target_ip =
   match Lfib.lookup_ip t.lfib target_ip with
   | Some owner ->
       t.s_arp_local <- t.s_arp_local + 1;
+      trace t Tev.Arp_local;
       deliver t owner packet
   | None ->
       let eth = Packet.eth_of packet in
       let n = Gfib.iter_candidates_ip t.gfib target_ip (fun sid -> encap_to t sid eth) in
+      if Tracer.enabled t.tracer then trace t (Tev.Gfib_probe n);
       if n = 0 then begin
         t.s_arp_escalated <- t.s_arp_escalated + 1;
         if is_designated t then designated_group_arp t ~origin:t.self packet
         else
           match t.group with
           | Some c ->
+              trace t Tev.Arp_group;
               t.env.send_peer c.designated
                 (Message.Extension (Proto.Group_arp { origin = t.self; packet }))
           | None ->
@@ -459,11 +497,13 @@ and data_path t packet =
   match Flow_table.lookup t.table ~now:(now t) eth with
   | Some actions ->
       t.s_flow_table <- t.s_flow_table + 1;
+      trace_pkt t packet Tev.Flow_table_hit;
       apply_actions t packet actions
   | None -> (
       match Lfib.lookup_mac t.lfib eth.dst with
       | Some host ->
           t.s_lfib <- t.s_lfib + 1;
+          trace_pkt t packet Tev.Lfib_hit;
           deliver t host packet
       | None ->
           (* Per-packet fast path: probe the peer filters in place — no
@@ -474,6 +514,8 @@ and data_path t packet =
                 count_intensity t sid;
                 encap_to t sid eth)
           in
+          if Tracer.enabled t.tracer then
+            trace_pkt t packet (Tev.Gfib_probe n);
           if n = 0 then punt t packet Message.No_match
           else begin
             t.s_gfib <- t.s_gfib + 1;
@@ -490,6 +532,7 @@ let detach_host t hid = if Lfib.forget t.lfib hid then advertise_pending t
 let handle_from_host t host packet =
   if t.up then begin
     t.s_from_hosts <- t.s_from_hosts + 1;
+    trace_pkt t packet Tev.Ingress;
     (* Source learning, as in an ordinary L2 switch. *)
     if Lfib.learn t.lfib host then advertise_pending t;
     let eth = Packet.eth_of packet in
@@ -509,24 +552,27 @@ let handle_underlay t packet =
             if not (try_answer_arp t (Packet.Plain inner)) then begin
               (* Bloom false positive on the IP key. *)
               t.s_fp_drops <- t.s_fp_drops + 1;
+              trace t Tev.Bloom_fp;
               if t.config.report_false_positives then
                 send_controller t
                   (Message.Extension
                      (Proto.False_positive { at = t.self; dst = inner.dst }))
             end
         | Packet.Arp { op = Packet.Reply; _ } | Packet.Ipv4 _ -> (
-            (* Controller-installed rules (e.g. detour routes, Â§III-E2)
+            (* Controller-installed rules (e.g. detour routes, §III-E2)
                apply to decapsulated traffic too, as they would in the
                Open vSwitch datapath; the L-FIB handles the common case. *)
             match Flow_table.lookup t.table ~now:(now t) inner with
             | Some actions ->
                 t.s_flow_table <- t.s_flow_table + 1;
+                trace_pkt t (Packet.Plain inner) Tev.Flow_table_hit;
                 apply_actions t (Packet.Plain inner) actions
             | None -> (
                 match Lfib.lookup_mac t.lfib inner.dst with
                 | Some host -> deliver t host (Packet.Plain inner)
                 | None ->
                     t.s_fp_drops <- t.s_fp_drops + 1;
+                    trace_pkt t (Packet.Plain inner) Tev.Bloom_fp;
                     if t.config.report_false_positives then
                       send_controller t
                         (Message.Extension

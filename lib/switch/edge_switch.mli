@@ -67,7 +67,13 @@ type stats = {
 
 type t
 
-val create : env -> config -> self:Ids.Switch_id.t -> t
+val create :
+  ?tracer:Lazyctrl_trace.Tracer.t -> env -> config -> self:Ids.Switch_id.t -> t
+(** [tracer] (default disabled) receives a flight-recorder event at every
+    datapath decision point: ingress, flow-table/L-FIB hits, G-FIB
+    probes, Bloom false positives, ARP resolution, designated-switch
+    relays, and punts. *)
+
 val self : t -> Ids.Switch_id.t
 
 val attach_host : t -> Host.t -> unit

@@ -1,0 +1,30 @@
+(** Trace serialization: JSONL and Chrome [trace_event] formats.
+
+    JSONL is the canonical format — one event object per line, integer
+    timestamps in nanoseconds, deterministic field order, so two runs
+    with the same seed produce byte-identical files.
+
+    The Chrome format ([{"traceEvents": [...]}]) is loadable in
+    Perfetto / [chrome://tracing]: each event becomes an instant event
+    whose track ([pid]/[tid]) is the switch it happened on (the
+    controller gets its own process row), with the display timestamp in
+    microseconds.  The full canonical event object rides along under
+    [args.ev], so decoding is lossless despite the coarser display
+    timestamp. *)
+
+val to_jsonl : Event.t list -> string
+(** One event per line, each terminated by ['\n']. *)
+
+val of_jsonl : string -> (Event.t list, string) result
+(** Blank lines are skipped; the error names the offending line. *)
+
+val to_chrome : Event.t list -> string
+
+val of_chrome : string -> (Event.t list, string) result
+(** Inverse of {!to_chrome} (reads [args.ev] of each trace event). *)
+
+val save : string -> string -> unit
+(** [save path data] writes [data] to [path] (binary mode). *)
+
+val load : string -> (string, string) result
+(** File contents, or a readable error message. *)

@@ -1,0 +1,98 @@
+module Det = Lazyctrl_util.Det
+
+type verdict = Local | Gossip | Controller
+
+let verdict_label = function
+  | Local -> "local"
+  | Gossip -> "gossip"
+  | Controller -> "controller"
+
+let rank = function Local -> 0 | Gossip -> 1 | Controller -> 2
+
+let verdict_of_rank = function
+  | 0 -> Local
+  | 1 -> Gossip
+  | 2 -> Controller
+  | n -> invalid_arg (Printf.sprintf "Laziness.verdict_of_rank: %d" n)
+
+let rank_of_kind (k : Event.kind) =
+  match k with
+  | Event.Ingress | Event.Flow_table_hit | Event.Lfib_hit | Event.Deliver
+  | Event.Arp_local ->
+      0
+  | Event.Gfib_probe _ | Event.Bloom_fp | Event.Arp_group
+  | Event.Designated_relay _ ->
+      1
+  | Event.Punt _ | Event.Arp_escalate | Event.Ctrl_request _
+  | Event.Ctrl_packet_in | Event.Ctrl_install _ | Event.Ctrl_arp_relay
+  | Event.Ctrl_flood ->
+      2
+  (* Control-plane bookkeeping: never attributed to a flow's verdict. *)
+  | Event.Regroup _ | Event.Chaos_fault _ | Event.Failover _
+  | Event.Retransmit _ | Event.Reliable_giveup _ ->
+      0
+
+type summary = {
+  flows : int;
+  local : int;
+  gossip : int;
+  controller : int;
+  controller_requests : int;
+  events : int;
+  per_flow : (int * verdict) list;
+}
+
+let summary_of_verdicts ~controller_requests ~events per_flow =
+  let count v =
+    List.length (List.filter (fun (_, v') -> rank v' = rank v) per_flow)
+  in
+  {
+    flows = List.length per_flow;
+    local = count Local;
+    gossip = count Gossip;
+    controller = count Controller;
+    controller_requests;
+    events;
+    per_flow;
+  }
+
+let of_events events =
+  let ranks : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let requests = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      (match e.Event.kind with
+      | Event.Ctrl_request _ -> incr requests
+      | _ -> ());
+      match e.Event.flow with
+      | None -> ()
+      | Some f -> (
+          let r = rank_of_kind e.Event.kind in
+          match Hashtbl.find_opt ranks f with
+          | Some r0 when r0 >= r -> ()
+          | _ -> Hashtbl.replace ranks f r))
+    events;
+  let per_flow =
+    List.map
+      (fun (f, r) -> (f, verdict_of_rank r))
+      (Det.bindings_sorted ~cmp:Int.compare ranks)
+  in
+  summary_of_verdicts ~controller_requests:!requests
+    ~events:(List.length events) per_flow
+
+let controller_ratio s =
+  if s.flows = 0 then 0.
+  else float_of_int s.controller /. float_of_int s.flows
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>flows: %d@,\
+     local: %d@,\
+     gossip: %d@,\
+     controller: %d@,\
+     controller involvement: %.2f%%@,\
+     controller requests: %d@,\
+     events: %d@]"
+    s.flows s.local s.gossip s.controller
+    (100. *. controller_ratio s)
+    s.controller_requests s.events

@@ -1,0 +1,57 @@
+(** Laziness accounting: fold a trace into per-flow verdicts.
+
+    The paper's headline claim is that most flows never involve the
+    central controller.  This pass makes that number first-class: every
+    flow seen in a trace is classified by the most expensive control
+    machinery it touched —
+
+    - [Local]: resolved entirely from switch-local state (flow table,
+      L-FIB, locally answered ARP);
+    - [Gossip]: needed the lazy group machinery (G-FIB Bloom probes,
+      designated-switch relays, group-scoped ARP) but not the
+      controller;
+    - [Controller]: punted, escalated, installed, or flooded by the
+      controller.
+
+    A Bloom false positive counts as [Gossip]: the extra hop is G-FIB
+    mechanics, and the resulting [False_positive] report to the
+    controller is charged to the control plane (it shows up in
+    [controller_requests]), not to the flow's own verdict. *)
+
+type verdict = Local | Gossip | Controller
+
+val verdict_label : verdict -> string
+val rank : verdict -> int
+(** [Local] = 0 < [Gossip] = 1 < [Controller] = 2. *)
+
+val verdict_of_rank : int -> verdict
+(** @raise Invalid_argument outside [0, 2]. *)
+
+val rank_of_kind : Event.kind -> int
+(** Lattice contribution of one event to its flow's verdict. *)
+
+type summary = {
+  flows : int;  (** distinct flow ids seen *)
+  local : int;
+  gossip : int;
+  controller : int;
+  controller_requests : int;
+      (** total [Ctrl_request] events — comparable with
+          [Recorder.total_requests] when sampling is off *)
+  events : int;  (** events folded (cumulative, pre-eviction when the
+                     summary comes from a live tracer) *)
+  per_flow : (int * verdict) list;  (** sorted by flow id *)
+}
+
+val summary_of_verdicts :
+  controller_requests:int -> events:int -> (int * verdict) list -> summary
+(** Build a summary from per-flow verdicts (must be sorted by flow id). *)
+
+val of_events : Event.t list -> summary
+(** Offline pass over a decoded trace, e.g. one loaded from JSONL. *)
+
+val controller_ratio : summary -> float
+(** Fraction of flows with a [Controller] verdict; [0.] when no flows
+    were seen. *)
+
+val pp_summary : Format.formatter -> summary -> unit

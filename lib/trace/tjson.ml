@@ -1,0 +1,248 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing -------------------------------------------------------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buffer buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool true -> Buffer.add_string buf "true"
+  | Bool false -> Buffer.add_string buf "false"
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | String s -> escape_to buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf item)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* --- parsing --------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some got when Char.equal got c -> advance st
+  | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+let expect_word st w =
+  let n = String.length w in
+  if
+    st.pos + n <= String.length st.src
+    && String.equal (String.sub st.src st.pos n) w
+  then st.pos <- st.pos + n
+  else error st (Printf.sprintf "expected %S" w)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> error st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then
+                  error st "truncated \\u escape";
+                let hex = String.sub st.src st.pos 4 in
+                st.pos <- st.pos + 4;
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some code -> code
+                  | None -> error st "bad \\u escape"
+                in
+                (* Only the ASCII range is ever emitted by the writer. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else error st "non-ASCII \\u escape unsupported"
+            | _ -> error st "unknown escape");
+            go ())
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_int st =
+  let start = st.pos in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  let rec digits () =
+    match peek st with
+    | Some ('0' .. '9') ->
+        advance st;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  if st.pos = start then error st "expected number";
+  (match peek st with
+  | Some ('.' | 'e' | 'E') -> error st "non-integer number"
+  | _ -> ());
+  match int_of_string_opt (String.sub st.src start (st.pos - start)) with
+  | Some n -> n
+  | None -> error st "number out of range"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some 'n' ->
+      expect_word st "null";
+      Null
+  | Some 't' ->
+      expect_word st "true";
+      Bool true
+  | Some 'f' ->
+      expect_word st "false";
+      Bool false
+  | Some '"' -> String (parse_string st)
+  | Some ('-' | '0' .. '9') -> Int (parse_int st)
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if Option.equal Char.equal (peek st) (Some ']') then (
+        advance st;
+        List [])
+      else
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              items (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> error st "expected ',' or ']'"
+        in
+        List (items [])
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if Option.equal Char.equal (peek st) (Some '}') then (
+        advance st;
+        Obj [])
+      else
+        let field () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              fields (kv :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev (kv :: acc)
+          | _ -> error st "expected ',' or '}'"
+        in
+        Obj (fields [])
+  | Some c -> error st (Printf.sprintf "unexpected character '%c'" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos < String.length s then error st "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors ------------------------------------------------------------- *)
+
+let member key v =
+  match v with
+  | Obj fields ->
+      List.find_map
+        (fun (k, field) -> if String.equal k key then Some field else None)
+        fields
+  | _ -> None
+
+let to_int v =
+  match v with Int n -> Ok n | _ -> Error "expected integer"
+
+let to_str v =
+  match v with String s -> Ok s | _ -> Error "expected string"
+
+let to_bool v =
+  match v with Bool b -> Ok b | _ -> Error "expected bool"

@@ -1,0 +1,32 @@
+(** Minimal JSON tree for trace export.
+
+    The trace layer sits below everything that could pull in a JSON
+    dependency, so it carries its own ~100-line value type, printer and
+    recursive-descent parser.  Two deliberate restrictions keep encoded
+    traces byte-deterministic: numbers are OCaml [int]s only (no float
+    formatting ambiguity — timestamps are integer nanoseconds), and
+    object fields are rendered in exactly the order given. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, deterministic rendering (no whitespace). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parses one JSON value; trailing whitespace is allowed, anything else
+    after the value is an error.  Accepts only integer numbers. *)
+
+val member : string -> t -> t option
+(** First binding of the field in an [Obj]; [None] otherwise. *)
+
+val to_int : t -> (int, string) result
+val to_str : t -> (string, string) result
+val to_bool : t -> (bool, string) result

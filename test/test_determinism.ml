@@ -148,6 +148,29 @@ let test_chaos_double_run () =
     "different seed, different chaos fingerprint" false
     (String.equal r1.Runner.fingerprint r3.Runner.fingerprint)
 
+(* Tracing determinism: two flight-recorded runs of the same seeded
+   daylong slice must serialize to byte-identical JSONL (and Chrome)
+   exports.  Trace files are diffable artifacts, so this is stricter
+   than fingerprint equality: every event, span id and parent link has
+   to come out in the same bytes, which would catch any hash-order or
+   wall-clock leak in the tracer itself. *)
+let test_traced_daylong_double_run () =
+  let module Daylong = Lazyctrl_experiments.Daylong in
+  let module Tracer = Lazyctrl_trace.Tracer in
+  let module Export = Lazyctrl_trace.Export in
+  let record () =
+    let tracer = Tracer.create () in
+    ignore (Daylong.run ~tracer ~seed:9 ~n_flows:2_000 Daylong.Lazy_real_dynamic);
+    (Export.to_jsonl (Tracer.events tracer),
+     Export.to_chrome (Tracer.events tracer))
+  in
+  let j1, c1 = record () in
+  let j2, c2 = record () in
+  Alcotest.(check bool) "non-trivial trace" true (String.length j1 > 10_000);
+  Alcotest.(check int) "same JSONL length" (String.length j1) (String.length j2);
+  Alcotest.(check bool) "byte-identical JSONL" true (String.equal j1 j2);
+  Alcotest.(check bool) "byte-identical Chrome export" true (String.equal c1 c2)
+
 let () =
   Alcotest.run "determinism"
     [
@@ -156,5 +179,7 @@ let () =
           Alcotest.test_case "same seed twice" `Slow test_double_run;
           Alcotest.test_case "seed sensitivity" `Slow test_seed_sensitivity;
           Alcotest.test_case "chaos scenario twice" `Slow test_chaos_double_run;
+          Alcotest.test_case "traced daylong slice twice" `Slow
+            test_traced_daylong_double_run;
         ] );
     ]

@@ -642,6 +642,68 @@ let driver_tests =
               (List.length x_only.Driver.stale)));
   ]
 
+(* --- ARCHITECTURE.md layering diagram ---------------------------------------- *)
+
+(* The Mermaid diagram in ARCHITECTURE.md documents the layering spec
+   that L001 enforces; parse its edges back out and fail when document
+   and code drift apart.  A bare identifier line inside the fence is a
+   dependency-free library; [a --> b] means "a may reference b". *)
+let architecture_doc_tests =
+  [
+    Alcotest.test_case "mermaid diagram matches allowed_deps" `Quick (fun () ->
+        let read_all path =
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        (* cwd is test/ under `dune runtest` (the dep is staged one level
+           up) but the project root under a bare `dune exec`. *)
+        let doc =
+          read_all
+            (if Sys.file_exists "../ARCHITECTURE.md" then "../ARCHITECTURE.md"
+             else "ARCHITECTURE.md")
+        in
+        let in_fence = ref false in
+        let nodes = ref [] and edges = ref [] in
+        List.iter
+          (fun raw ->
+            let line = String.trim raw in
+            if String.equal line "```mermaid" then in_fence := true
+            else if String.equal line "```" then in_fence := false
+            else if !in_fence then
+              match String.split_on_char ' ' line with
+              | [ a; "-->"; b ] -> edges := (a, b) :: !edges
+              | [ n ] when String.length n > 0 -> nodes := n :: !nodes
+              | _ -> ())
+          (String.split_on_char '\n' doc);
+        Alcotest.(check bool) "found a mermaid diagram" true
+          (not (List.is_empty !edges));
+        let libs =
+          List.sort_uniq String.compare (!nodes @ List.map fst !edges)
+        in
+        let doc_spec =
+          List.map
+            (fun lib ->
+              ( lib,
+                List.sort String.compare
+                  (List.filter_map
+                     (fun (a, b) ->
+                       if String.equal a lib then Some b else None)
+                     !edges) ))
+            libs
+        in
+        let code_spec =
+          List.map
+            (fun (lib, deps) -> (lib, List.sort String.compare deps))
+            Layering.allowed_deps
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        Alcotest.(check (list (pair string (list string))))
+          "ARCHITECTURE.md diagram == lib/analysis/layering.ml spec"
+          code_spec doc_spec);
+  ]
+
 let () =
   Alcotest.run "lazyctrl-lint"
     [
@@ -660,5 +722,6 @@ let () =
       ("E00x-effects", effects_tests);
       ("L00x-layering", layering_tests);
       ("X00x-deadcode", deadcode_tests);
+      ("architecture-doc", architecture_doc_tests);
       ("driver", driver_tests);
     ]

@@ -46,6 +46,38 @@ let test_latency_series () =
   check Alcotest.int "one first sample" 1 (Stats.Online.count summary);
   check (Alcotest.float 1e-9) "summary mean" 10.0 (Stats.Online.mean summary)
 
+(* Pin the bulk-accounting bucket attribution: all [n] fast-path packets
+   of a flow land in the bucket of the recording (first-delivery) time,
+   even when the recording happens right at a bucket boundary or the
+   flow's tail would conceptually spill into the next bucket; past the
+   horizon they clamp into the final bucket. *)
+let test_fast_path_bucket_attribution () =
+  let e, r = make () in
+  (* 1 ns before the hour-2 boundary: all 10 packets in bucket 0. *)
+  at e
+    (Time.diff (Time.of_hour 2) (Time.of_ns 1))
+    (fun () -> Recorder.record_fast_path_latency r ~n:10 (Time.of_ms 1));
+  (* Exactly on the boundary: all 7 packets in bucket 1, none split. *)
+  at e (Time.of_hour 2) (fun () ->
+      Recorder.record_fast_path_latency r ~n:7 (Time.of_ms 3));
+  Engine.run e;
+  let means = Recorder.latency_ms_series r in
+  check (Alcotest.float 1e-9) "bucket 0 holds the pre-boundary bulk" 1.0
+    means.(0);
+  check (Alcotest.float 1e-9) "bucket 1 holds the boundary bulk" 3.0 means.(1);
+  check Alcotest.bool "bucket 2 untouched" true (Float.is_nan means.(2))
+
+let test_fast_path_horizon_clamp () =
+  let e, r = make () in
+  (* A recording past the 24 h horizon clamps into the last bucket
+     rather than being dropped or raising. *)
+  at e (Time.of_hour 25) (fun () ->
+      Recorder.record_fast_path_latency r ~n:5 (Time.of_ms 2));
+  Engine.run e;
+  let means = Recorder.latency_ms_series r in
+  check (Alcotest.float 1e-9) "clamped into final bucket" 2.0
+    means.(Recorder.n_buckets r - 1)
+
 let test_updates_hourly () =
   let e, r = make () in
   at e (Time.of_min 30) (fun () -> Recorder.on_grouping_update r);
@@ -71,6 +103,10 @@ let () =
         [
           Alcotest.test_case "workload bucketing" `Quick test_workload_bucketing;
           Alcotest.test_case "latency series" `Quick test_latency_series;
+          Alcotest.test_case "fast-path bucket attribution" `Quick
+            test_fast_path_bucket_attribution;
+          Alcotest.test_case "fast-path horizon clamp" `Quick
+            test_fast_path_horizon_clamp;
           Alcotest.test_case "hourly updates" `Quick test_updates_hourly;
           Alcotest.test_case "empty buckets" `Quick test_empty_buckets_are_nan;
         ] );
