@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-check lint-json bench bench-json bench-check chaos clean
+.PHONY: all build test lint lint-check lint-json lint-sarif lint-ownership bench bench-json bench-check chaos clean
 
 all: build
 
@@ -21,6 +21,24 @@ lint-json:
 	./_build/default/bin/lazyctrl_lint.exe --root . --json --check \
 	  > _build/lint-report.json
 	@echo "wrote _build/lint-report.json"
+
+# SARIF 2.1.0 report for GitHub code scanning.  Same gating semantics as
+# lint-json; the report is written either way.
+lint-sarif:
+	dune build bin/lazyctrl_lint.exe
+	./_build/default/bin/lazyctrl_lint.exe --root . --format sarif --check \
+	  > _build/lint-report.sarif
+	@echo "wrote _build/lint-report.sarif"
+
+# Shared-state ownership report: every module's ownership class
+# (shard-local / shard-crossing / read-only-after-init) next to its
+# declared mutable state.  This is the synchronization worklist the
+# multicore sharding PR consumes (ROADMAP item 2, DESIGN.md §9).
+lint-ownership:
+	dune build bin/lazyctrl_lint.exe
+	./_build/default/bin/lazyctrl_lint.exe --root . --ownership-report \
+	  > _build/ownership-report.json
+	@echo "wrote _build/ownership-report.json"
 
 bench:
 	dune exec bench/main.exe

@@ -4,20 +4,32 @@
    Exit status: by default the tool only reports — it exits 0 whatever
    it finds, so report-generating pipelines (e.g. [make lint-json]) can
    archive the output of a failing tree. Pass [--check] to gate: exit 1
-   on gating findings or stale allowlist entries. Exit 2 on usage
-   error. *)
+   on gating findings; exit 3 when the only problem is stale allowlist
+   entries (distinct, so CI can say "prune the allowlist" rather than
+   "fix the code"). Exit 2 on usage error. *)
 
 let usage =
-  "lazyctrl_lint [--root DIR] [--allow FILE] [--json] [--check] \
-   [--rules FAMILIES] [--list-rules]"
+  "lazyctrl_lint [--root DIR] [--allow FILE] [--format text|json|sarif] \
+   [--check] [--rules FAMILIES] [--list-rules] [--ownership-report]"
+
+type format = Text | Json | Sarif
 
 let () =
   let root = ref "." in
   let allow = ref ".lazyctrl-lint-allow" in
-  let json = ref false in
+  let format = ref Text in
   let check = ref false in
   let list_rules = ref false in
+  let ownership_report = ref false in
   let families = ref None in
+  let set_format = function
+    | "text" -> format := Text
+    | "json" -> format := Json
+    | "sarif" -> format := Sarif
+    | other ->
+        Printf.eprintf "unknown format '%s' (known: text, json, sarif)\n" other;
+        exit 2
+  in
   let set_families s =
     let fs =
       String.split_on_char ',' s
@@ -46,16 +58,24 @@ let () =
         Arg.Set_string allow,
         "FILE allowlist path (default .lazyctrl-lint-allow, relative to \
          --root)" );
-      ("--json", Arg.Set json, " emit the report as JSON");
+      ("--json", Arg.Unit (fun () -> format := Json), " emit the report as JSON (same as --format json)");
+      ( "--format",
+        Arg.String set_format,
+        "FMT output format: text (default), json, or sarif (SARIF 2.1.0 \
+         for code scanning)" );
       ( "--check",
         Arg.Set check,
-        " exit 1 on gating findings or stale allowlist entries (default: \
-         report only, exit 0)" );
+        " gate: exit 1 on gating findings, exit 3 on stale allowlist \
+         entries only (default: report only, exit 0)" );
       ( "--rules",
         Arg.String set_families,
         "FAMILIES comma-separated rule families to run (subset of \
-         D,A,P,E,L,X; default all)" );
+         D,A,P,E,L,X,S; default all)" );
       ("--list-rules", Arg.Set list_rules, " list rule identifiers and exit");
+      ( "--ownership-report",
+        Arg.Set ownership_report,
+        " emit the shared-state ownership report as JSON and exit (the \
+         sharding PR's synchronization worklist)" );
     ]
   in
   Arg.parse spec
@@ -67,6 +87,10 @@ let () =
     List.iter print_endline Lazyctrl_analysis.Rules.all;
     exit 0
   end;
+  if !ownership_report then begin
+    print_string (Lazyctrl_analysis.Driver.ownership_report_json ~root:!root ());
+    exit 0
+  end;
   let allow_path =
     if Filename.is_relative !allow then Filename.concat !root !allow
     else !allow
@@ -75,25 +99,35 @@ let () =
     Lazyctrl_analysis.Driver.run ?families:!families ~root:!root ~allow_path ()
   in
   let open Lazyctrl_analysis in
-  if !json then print_string (Driver.report_to_json report)
-  else begin
-    List.iter
-      (fun f -> print_endline (Finding.to_string f))
-      report.Driver.findings;
-    List.iter
-      (fun f -> print_endline (Finding.to_string f))
-      report.Driver.stale;
-    List.iter
-      (fun (file, _) ->
-        Printf.printf
-          "%s: note: file did not parse; token-level rules applied\n" file)
-      report.Driver.parse_failures;
-    Printf.printf
-      "lazyctrl-lint: %d file(s) scanned, %d finding(s), %d suppressed by \
-       allowlist, %d stale allowlist entr(ies)\n"
-      report.Driver.files_scanned
-      (List.length report.Driver.findings)
-      (List.length report.Driver.suppressed)
-      (List.length report.Driver.stale)
-  end;
-  exit (if (not !check) || Driver.clean report then 0 else 1)
+  (match !format with
+  | Json -> print_string (Driver.report_to_json report)
+  | Sarif -> print_string (Sarif.of_report report)
+  | Text ->
+      List.iter
+        (fun f -> print_endline (Finding.to_string f))
+        report.Driver.findings;
+      List.iter
+        (fun f -> print_endline (Finding.to_string f))
+        report.Driver.stale;
+      List.iter
+        (fun (file, _) ->
+          Printf.printf
+            "%s: note: file did not parse; token-level rules applied\n" file)
+        report.Driver.parse_failures;
+      List.iter
+        (fun (file, note) -> Printf.printf "%s: note: %s\n" file note)
+        report.Driver.callgraph_notes;
+      Printf.printf
+        "lazyctrl-lint: %d file(s) scanned, %d finding(s), %d suppressed by \
+         allowlist, %d stale allowlist entr(ies)\n"
+        report.Driver.files_scanned
+        (List.length report.Driver.findings)
+        (List.length report.Driver.suppressed)
+        (List.length report.Driver.stale));
+  let code =
+    if not !check then 0
+    else if not (Driver.clean report) then 1
+    else if not (List.is_empty report.Driver.stale) then 3
+    else 0
+  in
+  exit code

@@ -44,6 +44,7 @@ type finfo = {
   f_refs : fref list;  (* every longident with a location, for layering *)
   f_defs : def list;
   f_uses : string list list;  (* modules used opaquely: functor args, includes, packs *)
+  f_notes : string list;  (* unresolved constructs, deduplicated per file *)
 }
 
 type t = {
@@ -89,6 +90,8 @@ type cstate = {
   mutable cs_refs : fref list;
   mutable cs_defs : def list;
   mutable cs_uses : string list list;
+  mutable cs_notes : string list;
+      (* constructs this name-based index cannot fully resolve *)
 }
 
 let flatten_longident lid = try Some (Longident.flatten lid) with _ -> None
@@ -358,14 +361,62 @@ and walk_module cs ~lib_siblings modpath name mexpr =
   | Pmod_functor (_, body) ->
       walk_module cs ~lib_siblings modpath name body
   | Pmod_apply _ | Pmod_apply_unit _ ->
+      (* every named module stays opaquely used (deadcode conservative);
+         additionally alias the binding to the functor's own path, so
+         [module T = F.Make(X)] lets [T.op] resolve to [F.Make.op] defs
+         and the functor body's call edges survive the application *)
       List.iter
         (fun p ->
           cs.cs_uses <- p :: cs.cs_uses;
           cs.cs_refs <-
             mk_fref Module (p, loc_line mexpr.pmod_loc, loc_col mexpr.pmod_loc)
             :: cs.cs_refs)
-        (module_idents mexpr)
-  | Pmod_unpack _ | Pmod_extension _ -> ()
+        (module_idents mexpr);
+      let rec functor_head me =
+        match me.pmod_desc with
+        | Pmod_apply (f, _) | Pmod_apply_unit f | Pmod_constraint (f, _) ->
+            functor_head f
+        | Pmod_ident { txt; _ } -> flatten_longident txt
+        | _ -> None
+      in
+      (match functor_head mexpr with
+      | Some p ->
+          let sibling_exists n =
+            List.exists (String.equal n) (Lazy.force lib_siblings)
+          in
+          let target =
+            Option.value (absolutize cs ~sibling_exists p) ~default:p
+          in
+          cs.cs_aliases <- (name, target) :: cs.cs_aliases
+      | None ->
+          cs.cs_notes <-
+            (Printf.sprintf
+               "functor application bound to %s has a non-ident head; \
+                references through %s are tracked as opaque uses only"
+               name name)
+            :: cs.cs_notes)
+  | Pmod_unpack e ->
+      (* first-class module: the packed value's identity is dynamic, but
+         the expression's own references still count (deadcode stays
+         conservative), and the binding is noted as unresolved *)
+      let b = collect_body e in
+      List.iter
+        (fun r -> cs.cs_refs <- mk_fref Value r :: cs.cs_refs)
+        b.b_vrefs;
+      cs.cs_uses <- b.b_uses @ cs.cs_uses;
+      cs.cs_notes <-
+        (Printf.sprintf
+           "first-class module unpacked into %s; its contents cannot be \
+            resolved by name, references through %s are dropped"
+           name name)
+        :: cs.cs_notes
+  | Pmod_extension _ ->
+      cs.cs_notes <-
+        (Printf.sprintf
+           "extension node bound to module %s is not resolved; references \
+            through %s are dropped"
+           name name)
+        :: cs.cs_notes
 
 let collect_file ~aux ~lib_modules (file, structure) =
   let lib = lib_of_path file in
@@ -381,6 +432,7 @@ let collect_file ~aux ~lib_modules (file, structure) =
       cs_refs = [];
       cs_defs = [];
       cs_uses = [];
+      cs_notes = [];
     }
   in
   let lib_siblings =
@@ -402,6 +454,7 @@ let collect_file ~aux ~lib_modules (file, structure) =
     f_refs = List.rev cs.cs_refs;
     f_defs = List.rev_map (fun d -> { d with d_file = file }) cs.cs_defs;
     f_uses = List.rev cs.cs_uses;
+    f_notes = List.sort_uniq String.compare cs.cs_notes;
   }
 
 (* --- resolution ------------------------------------------------------------ *)

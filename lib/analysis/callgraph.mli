@@ -45,6 +45,10 @@ type finfo = {
   f_defs : def list;
   f_uses : string list list;
       (** modules used opaquely: functor args, includes, packs *)
+  f_notes : string list;
+      (** constructs the name-based index could not fully resolve
+          (first-class modules, non-ident functor heads), deduplicated
+          per file *)
 }
 
 type t

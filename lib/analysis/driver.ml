@@ -18,6 +18,9 @@ type report = {
   stale : Finding.t list;  (* allowlist entries that matched nothing *)
   files_scanned : int;
   parse_failures : (string * string) list;  (* file, parser message — once *)
+  callgraph_notes : (string * string) list;
+      (* (file, note): constructs the call-graph index could not fully
+         resolve — the honest blind spots of the whole-program passes *)
 }
 
 (* Directories scanned for findings.  [test/] is scanned reference-only:
@@ -191,8 +194,9 @@ let run ?(families = Rules.families) ~root ~allow_path () =
   let per_file = List.concat_map snd ast_findings @ token_findings in
   let proto = if sel "P" then protocol_findings_cached cache else [] in
   (* Whole-program passes over the shared call graph. *)
+  let cg_notes = ref [] in
   let whole_program =
-    if not (sel "E" || sel "L" || sel "X") then []
+    if not (sel "E" || sel "L" || sel "X" || sel "S") then []
     else begin
       let parsed =
         List.filter_map
@@ -211,6 +215,15 @@ let run ?(families = Rules.families) ~root ~allow_path () =
                | Error _ -> None (* reference-only files fail silently *))
       in
       let cg = Callgraph.build ~files:parsed ~aux in
+      cg_notes :=
+        List.concat_map
+          (fun (fi : Callgraph.finfo) ->
+            if fi.Callgraph.f_aux then []
+            else
+              List.map
+                (fun n -> (fi.Callgraph.f_file, n))
+                fi.Callgraph.f_notes)
+          (Callgraph.files cg);
       let e =
         if sel "E" then Effects.findings (Effects.infer cg ~ast_findings)
         else []
@@ -238,7 +251,12 @@ let run ?(families = Rules.families) ~root ~allow_path () =
         end
         else []
       in
-      e @ l @ x
+      let s =
+        if sel "S" then
+          Shard.check ~spec:Ownership.default ~cg ~structures:parsed ()
+        else []
+      in
+      e @ l @ x @ s
     end
   in
   let all =
@@ -256,6 +274,7 @@ let run ?(families = Rules.families) ~root ~allow_path () =
       Allowlist.unused ~relevant:(fun rule -> sel (Rules.family_of rule)) allow;
     files_scanned = List.length files;
     parse_failures;
+    callgraph_notes = !cg_notes;
   }
 
 let clean report = List.is_empty report.findings
@@ -277,7 +296,15 @@ let report_to_json report =
   emit_list "findings" report.findings ",\n  ";
   emit_list "suppressed" report.suppressed ",\n  ";
   emit_list "stale_allowlist" report.stale ",\n  ";
-  Buffer.add_string buf "\"parse_failures\": [";
+  Buffer.add_string buf "\"callgraph_notes\": [";
+  List.iteri
+    (fun i (file, note) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    {\"file\": \"%s\", \"note\": \"%s\"}"
+           (Finding.json_escape file) (Finding.json_escape note)))
+    report.callgraph_notes;
+  Buffer.add_string buf "\n  ],\n  \"parse_failures\": [";
   List.iteri
     (fun i (file, _) ->
       if i > 0 then Buffer.add_char buf ',';
@@ -287,4 +314,70 @@ let report_to_json report =
   Buffer.add_string buf
     (Printf.sprintf "\n  ],\n  \"files_scanned\": %d,\n  \"clean\": %b\n}"
        report.files_scanned (clean report));
+  Buffer.contents buf
+
+(* --- ownership report ------------------------------------------------------- *)
+
+(* The sharding PR's synchronization worklist (`make lint-ownership`):
+   every scanned module's ownership class next to its declared mutable
+   state, plus the spec's entry points.  A module with mutable state and
+   no class is listed too — that is exactly the gap the sharding PR must
+   close before it can move the module onto a domain. *)
+let ownership_report_json ~root () =
+  let spec = Ownership.default in
+  let files =
+    List.concat_map (fun d -> files_under ~root ~suffix:".ml" d []) scan_dirs
+    |> List.sort String.compare
+  in
+  let buf = Buffer.create 4096 in
+  let str s = Printf.sprintf "\"%s\"" (Finding.json_escape s) in
+  Buffer.add_string buf "{\n  \"entries\": [";
+  List.iteri
+    (fun i (e : Ownership.entry) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    {\"phase\": %s, \"shard\": %s, \"id\": %s}"
+           (str (Ownership.phase_name e.Ownership.e_phase))
+           (str e.Ownership.e_shard) (str e.Ownership.e_id)))
+    spec.Ownership.entries;
+  Buffer.add_string buf "\n  ],\n  \"modules\": [";
+  let first = ref true in
+  List.iter
+    (fun rel ->
+      let c = parse_cached ~root rel in
+      let declared =
+        match c.c_parse with
+        | Ok s -> Mutinv.declared (Mutinv.scan ~file:rel s)
+        | Error _ -> []
+      in
+      let cls = Ownership.class_of spec ~file:rel in
+      (* keep the report focused: skip unclassified modules that hold no
+         mutable state (nothing to own) *)
+      if Option.is_some cls || not (List.is_empty declared) then begin
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        let cls_json, why_json =
+          match cls with
+          | None -> ("null", "null")
+          | Some (c, why) ->
+              ( str (Ownership.class_name c),
+                match why with None -> "null" | Some w -> str w )
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "\n    {\"file\": %s, \"class\": %s, \"why\": %s,\
+                           \ \"mutable\": ["
+             (str rel) cls_json why_json);
+        List.iteri
+          (fun i (m : Mutinv.item) ->
+            if i > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "{\"line\": %d, \"kind\": %s, \"name\": %s}" m.Mutinv.m_line
+                 (str (Mutinv.kind_name m.Mutinv.m_kind))
+                 (str m.Mutinv.m_name)))
+          declared;
+        Buffer.add_string buf "]}"
+      end)
+    files;
+  Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf

@@ -11,6 +11,9 @@ type report = {
   files_scanned : int;
   parse_failures : (string * string) list;
       (** (file, parser message), each file reported once *)
+  callgraph_notes : (string * string) list;
+      (** (file, note): constructs the call-graph index could not fully
+          resolve — the whole-program passes' honest blind spots *)
 }
 
 (** Per-file rules on one source: Parsetree pass, or the token fallback
@@ -32,3 +35,9 @@ val run :
 val clean : report -> bool
 
 val report_to_json : report -> string
+
+val ownership_report_json : root:string -> unit -> string
+(** The sharding PR's synchronization worklist: every scanned module's
+    ownership class ({!Ownership.default}) next to its declared mutable
+    state ({!Mutinv}), plus the spec's entry points.  Emitted by
+    [make lint-ownership] into [_build/ownership-report.json]. *)

@@ -1,0 +1,80 @@
+(* SARIF 2.1.0 serialization of a lint report, for GitHub code scanning.
+
+   Only the gating findings become results: suppressed findings already
+   carry their justification in the allowlist, and stale entries are an
+   allowlist-maintenance concern, not a code finding.  The driver's
+   rules catalog carries a short description per rule so the code
+   scanning UI can label alerts without reaching back into README. *)
+
+let tool_name = "lazyctrl-lint"
+let schema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+(* One line per rule, mirroring README "Static analysis". *)
+let descriptions =
+  [
+    (Rules.d_hashtbl_order, "Unordered hash-table iteration can make two same-seed runs diverge");
+    (Rules.d_raw_random, "Raw randomness outside the seeded PRNG sanctuary");
+    (Rules.d_wall_clock, "Host clock read outside the simulated-time sanctuary");
+    (Rules.d_float_eq, "Float equality where simulated-time arithmetic needs a tolerance");
+    (Rules.a_poly_compare, "Polymorphic compare where a keyed module exports its own");
+    (Rules.a_poly_hash, "Polymorphic hash where a keyed module exports its own");
+    (Rules.a_poly_eq, "Polymorphic equality on keyed record fields");
+    (Rules.p_failover_table, "Failure-inference table must stay total and consistent");
+    (Rules.p_proto_coverage, "Every Proto message constructor needs a handler arm");
+    (Rules.e_indirect_random, "Randomness reached indirectly through the call graph");
+    (Rules.e_indirect_clock, "Host clock reached indirectly through the call graph");
+    (Rules.e_indirect_order, "Unordered iteration reached indirectly through the call graph");
+    (Rules.l_layering, "Dependency violates the declared layer DAG");
+    (Rules.l_lazy_separation, "Control-plane separation: switch and controller touch only Proto");
+    (Rules.x_dead_export, "Exported value is referenced nowhere in the repo");
+    (Rules.x_missing_mli, "Library module lacks an interface file");
+    (Rules.s_spec, "Ownership spec is malformed or has drifted from the code");
+    (Rules.s_shared_mutable, "Shard-local mutable state reachable from two or more shards");
+    (Rules.s_closure_escape, "Mutating closure escapes onto the event queue or a channel callback");
+    (Rules.s_init_write, "Write to read-only-after-init state reachable from the run loop");
+  ]
+
+let description_of rule =
+  match List.find_opt (fun (r, _) -> String.equal r rule) descriptions with
+  | Some (_, d) -> d
+  | None -> rule
+
+let level_of = function Finding.Error -> "error" | Finding.Warning -> "warning"
+
+let of_report (report : Driver.report) =
+  let buf = Buffer.create 4096 in
+  let str s = Printf.sprintf "\"%s\"" (Finding.json_escape s) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"$schema\": %s,\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    \
+        {\n      \"tool\": {\n        \"driver\": {\n          \"name\": %s,\n\
+       \          \"rules\": ["
+       (str schema) (str tool_name));
+  List.iteri
+    (fun i rule ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n            {\"id\": %s, \"shortDescription\": {\"text\": %s}}"
+           (str rule)
+           (str (description_of rule))))
+    Rules.all;
+  Buffer.add_string buf "\n          ]\n        }\n      },\n      \"results\": [";
+  List.iteri
+    (fun i (f : Finding.t) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n        {\"ruleId\": %s, \"level\": %s, \"message\": {\"text\": \
+            %s}, \"locations\": [{\"physicalLocation\": \
+            {\"artifactLocation\": {\"uri\": %s, \"uriBaseId\": \
+            \"SRCROOT\"}, \"region\": {\"startLine\": %d, \"startColumn\": \
+            %d}}}]}"
+           (str f.rule)
+           (str (level_of f.severity))
+           (str f.message) (str f.file)
+           (max 1 f.line)
+           (f.col + 1)))
+    report.Driver.findings;
+  Buffer.add_string buf "\n      ]\n    }\n  ]\n}\n";
+  Buffer.contents buf

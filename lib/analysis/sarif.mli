@@ -1,0 +1,6 @@
+(** SARIF 2.1.0 serialization of a lint report, for GitHub code
+    scanning.  Gating findings only: suppressed findings carry their
+    justification in the allowlist, stale entries are an
+    allowlist-maintenance concern. *)
+
+val of_report : Driver.report -> string

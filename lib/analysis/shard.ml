@@ -1,0 +1,307 @@
+(* Domain-safety checks (S00x): the code against the Ownership spec.
+
+   The multicore shard refactor (ROADMAP item 2) will run each LCG's
+   switches on their own OCaml 5 domain.  Anything mutable that two
+   shards can both reach is a data race waiting for that PR; anything
+   mutable that a closure carries onto an event queue may fire on a
+   different domain than the state it captures; anything declared
+   read-only-after-init must actually stop changing once the run loop is
+   live.  Three rules, all whole-program, all over the same Callgraph
+   the E/L/X passes use:
+
+   S000 — the spec itself is malformed (undocumented crossing, duplicate
+   rule, entry point that no longer resolves to a definition).  Spec rot
+   would silently blind the other three.
+
+   S001 — shared-mutable-without-crossing-annotation: a mutating
+   definition in a shard-local module reachable from run-phase entry
+   points of two or more distinct shards; the finding carries one
+   witness call chain per shard, like E00x.
+
+   S002 — closure escape: a closure that mutates state, registered from
+   a shard-local module onto the engine event queue or a channel
+   callback.  The closure outlives the call that created it; under
+   sharding it must stay pinned to the domain owning the state it
+   captures.
+
+   S003 — init-phase violation: a mutating definition in a
+   read-only-after-init module reachable from any run-phase entry point.
+   Setup may build the tables; the run loop may not rewrite them. *)
+
+open Parsetree
+
+(* --- reachability ---------------------------------------------------------- *)
+
+(* BFS over call edges from one entry definition; [parent] lets a
+   witness chain be rebuilt entry-first.  Callee lists are sorted and
+   the queue is FIFO, so chains are deterministic. *)
+let reach cg ~from =
+  let parent = Hashtbl.create 256 in
+  let visited = Hashtbl.create 256 in
+  Hashtbl.replace visited from ();
+  let q = Queue.create () in
+  Queue.push from q;
+  while not (Queue.is_empty q) do
+    let id = Queue.pop q in
+    List.iter
+      (fun callee ->
+        if not (Hashtbl.mem visited callee) then begin
+          Hashtbl.replace visited callee ();
+          Hashtbl.replace parent callee id;
+          Queue.push callee q
+        end)
+      (Callgraph.callees cg id)
+  done;
+  (visited, parent)
+
+let chain_to parent ~from ~target =
+  let rec up id acc =
+    if String.equal id from then from :: acc
+    else
+      match Hashtbl.find_opt parent id with
+      | Some p -> up p (id :: acc)
+      | None -> id :: acc
+  in
+  up target []
+
+(* --- mutation evidence ----------------------------------------------------- *)
+
+let is_mutating (d : Callgraph.def) =
+  d.Callgraph.d_mutates
+  || List.exists (fun (raw, _, _) -> Mutinv.is_store_path raw) d.Callgraph.d_refs
+
+(* --- S002: closure-escape scan --------------------------------------------- *)
+
+(* Registration sinks whose closure argument outlives the call: the
+   engine event queue and the channel receive callback.  Matched on the
+   last two path segments so open-scoped and absolute spellings agree. *)
+let sinks =
+  [
+    ("Engine", "schedule");
+    ("Engine", "schedule_at");
+    ("Engine", "every");
+    ("Channel", "set_receiver");
+  ]
+
+let sink_of path =
+  match List.rev path with
+  | op :: m :: _ ->
+      if
+        List.exists
+          (fun (sm, sop) -> String.equal m sm && String.equal op sop)
+          sinks
+      then Some (m ^ "." ^ op)
+      else None
+  | _ -> None
+
+let flatten_longident lid = try Some (Longident.flatten lid) with _ -> None
+
+(* Does the expression mutate anything, syntactically?  (Local scratch
+   included: from another domain's point of view there is no way to tell
+   a captured local from module state without types, so the rule errs
+   toward reporting and the allowlist carries the justified residue.) *)
+let expr_mutates e =
+  let found = ref false in
+  let expr (it : Ast_iterator.iterator) e =
+    (match e.pexp_desc with
+    | Pexp_setfield _ | Pexp_setinstvar _ -> found := true
+    | Pexp_apply (fn, _) -> (
+        match fn.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+            match flatten_longident txt with
+            | Some p -> if Mutinv.is_store_path p then found := true
+            | None -> ())
+        | _ -> ())
+    | _ -> ());
+    if not !found then Ast_iterator.default_iterator.expr it e
+  in
+  let iterator = { Ast_iterator.default_iterator with expr } in
+  iterator.expr iterator e;
+  !found
+
+let rec is_closure e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_constraint (e, _) | Pexp_open (_, e) -> is_closure e
+  | _ -> false
+
+let closure_escapes structure =
+  let out = ref [] in
+  let expr (it : Ast_iterator.iterator) e =
+    (match e.pexp_desc with
+    | Pexp_apply (fn, args) -> (
+        match fn.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
+            match Option.bind (flatten_longident txt) (fun p -> sink_of p)
+            with
+            | Some sink ->
+                List.iter
+                  (fun (_, arg) ->
+                    if is_closure arg && expr_mutates arg then
+                      out :=
+                        ( sink,
+                          Parse_ml.line_of arg.pexp_loc,
+                          Parse_ml.col_of arg.pexp_loc )
+                        :: !out)
+                  args
+            | None -> ())
+        | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let iterator = { Ast_iterator.default_iterator with expr } in
+  iterator.structure iterator structure;
+  List.rev !out
+
+(* --- the check ------------------------------------------------------------- *)
+
+let shorten id =
+  (* drop the Lazyctrl_ wrapper for readability in chains *)
+  match String.split_on_char '.' id with
+  | w :: rest when Option.is_some (Callgraph.lib_of_wrapper w) ->
+      String.concat "." rest
+  | _ -> id
+
+let format_chain parent ~from ~target =
+  String.concat " -> " (List.map shorten (chain_to parent ~from ~target))
+
+let check ~(spec : Ownership.spec) ~cg ~structures () =
+  let findings = ref [] in
+  let emit ~file ~line ?(col = 0) ~rule ~severity msg =
+    findings := Finding.make ~file ~line ~col ~rule ~severity msg :: !findings
+  in
+  (* S000: spec validation + entry resolution *)
+  List.iter
+    (fun msg ->
+      emit ~file:"lib/analysis/ownership.ml" ~line:1 ~rule:Rules.s_spec
+        ~severity:Finding.Error msg)
+    (Ownership.validate spec);
+  let resolved_entries =
+    List.filter
+      (fun (e : Ownership.entry) ->
+        match Callgraph.find_def cg e.Ownership.e_id with
+        | Some _ -> true
+        | None ->
+            emit ~file:"lib/analysis/ownership.ml" ~line:1 ~rule:Rules.s_spec
+              ~severity:Finding.Error
+              (Printf.sprintf
+                 "ownership entry point '%s' does not resolve to any \
+                  definition; the spec has drifted from the code"
+                 e.Ownership.e_id);
+            false)
+      spec.Ownership.entries
+  in
+  let run_entries =
+    List.filter
+      (fun (e : Ownership.entry) ->
+        match e.Ownership.e_phase with
+        | Ownership.Run -> true
+        | Ownership.Init -> false)
+      resolved_entries
+  in
+  let reaches =
+    List.map
+      (fun (e : Ownership.entry) -> (e, reach cg ~from:e.Ownership.e_id))
+      run_entries
+  in
+  let class_of file = Ownership.class_of spec ~file in
+  (* S001 / S003 over every indexed definition *)
+  List.iter
+    (fun (fi : Callgraph.finfo) ->
+      if not fi.Callgraph.f_aux then
+        match class_of fi.Callgraph.f_file with
+        | None -> ()
+        | Some (Ownership.Shard_crossing, _) -> ()
+        | Some (Ownership.Shard_local, _) ->
+            List.iter
+              (fun (d : Callgraph.def) ->
+                if is_mutating d then begin
+                  let reaching =
+                    List.filter
+                      (fun ((_ : Ownership.entry), (visited, _)) ->
+                        Hashtbl.mem visited d.Callgraph.d_id)
+                      reaches
+                  in
+                  let shards =
+                    List.sort_uniq String.compare
+                      (List.map
+                         (fun ((e : Ownership.entry), _) ->
+                           e.Ownership.e_shard)
+                         reaching)
+                  in
+                  if List.length shards >= 2 then begin
+                    let witness shard =
+                      match
+                        List.find_opt
+                          (fun ((e : Ownership.entry), _) ->
+                            String.equal e.Ownership.e_shard shard)
+                          reaching
+                      with
+                      | Some (e, (_, parent)) ->
+                          Printf.sprintf "[%s] %s" shard
+                            (format_chain parent ~from:e.Ownership.e_id
+                               ~target:d.Callgraph.d_id)
+                      | None -> shard
+                    in
+                    emit ~file:d.Callgraph.d_file ~line:d.Callgraph.d_line
+                      ~col:d.Callgraph.d_col ~rule:Rules.s_shared_mutable
+                      ~severity:Finding.Error
+                      (Printf.sprintf
+                         "shard-local mutable state reachable from %d shards \
+                          (%s): %s; %s — give each domain its own instance, \
+                          route the crossing through the reliable-channel \
+                          layer, or mark the module shard-crossing in the \
+                          ownership spec with a justification"
+                         (List.length shards)
+                         (String.concat ", " shards)
+                         (witness (List.nth shards 0))
+                         (witness (List.nth shards 1)))
+                  end
+                end)
+              fi.Callgraph.f_defs
+        | Some (Ownership.Read_only_after_init, _) ->
+            List.iter
+              (fun (d : Callgraph.def) ->
+                if is_mutating d then begin
+                  let reaching =
+                    List.find_opt
+                      (fun ((_ : Ownership.entry), (visited, _)) ->
+                        Hashtbl.mem visited d.Callgraph.d_id)
+                      reaches
+                  in
+                  match reaching with
+                  | None -> ()
+                  | Some (e, (_, parent)) ->
+                      emit ~file:d.Callgraph.d_file ~line:d.Callgraph.d_line
+                        ~col:d.Callgraph.d_col ~rule:Rules.s_init_write
+                        ~severity:Finding.Error
+                        (Printf.sprintf
+                           "write to read-only-after-init state reachable \
+                            from the run loop: [%s] %s — mutate during setup \
+                            only, or the module's ownership class is wrong"
+                           e.Ownership.e_shard
+                           (format_chain parent ~from:e.Ownership.e_id
+                              ~target:d.Callgraph.d_id))
+                end)
+              fi.Callgraph.f_defs)
+    (Callgraph.files cg);
+  (* S002 over the shard-local structures *)
+  List.iter
+    (fun (file, structure) ->
+      match class_of file with
+      | Some (Ownership.Shard_local, _) ->
+          List.iter
+            (fun (sink, line, col) ->
+              emit ~file ~line ~col ~rule:Rules.s_closure_escape
+                ~severity:Finding.Warning
+                (Printf.sprintf
+                   "closure that mutates state is registered on %s and \
+                    outlives this call; under domain sharding it must run \
+                    on the domain owning the captured state — keep the \
+                    registration on the owning shard's engine, or carry \
+                    the update across shards as a message"
+                   sink))
+            (closure_escapes structure)
+      | _ -> ())
+    structures;
+  List.sort Finding.compare !findings

@@ -1,0 +1,18 @@
+(** Domain-safety checks (S00x): the code against the {!Ownership}
+    spec, over the {!Callgraph}.
+
+    S000 flags defects in the spec itself; S001 flags mutable state in a
+    shard-local module reachable from run-phase entry points of two or
+    more distinct shards (with witness call chains); S002 flags closures
+    that mutate state and are registered on the engine event queue or a
+    channel callback from a shard-local module; S003 flags writes to
+    read-only-after-init state reachable from the run loop. *)
+
+val check :
+  spec:Ownership.spec ->
+  cg:Callgraph.t ->
+  structures:(string * Parsetree.structure) list ->
+  unit ->
+  Finding.t list
+(** [structures] are the findable (non-aux) parsed files, repo-relative;
+    only those the spec classifies shard-local are scanned for S002. *)
