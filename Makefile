@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-check lint-json lint-sarif lint-ownership bench bench-json bench-check chaos clean
+.PHONY: all build test lint lint-check lint-json lint-sarif lint-ownership lint-hotpath bench bench-json bench-check chaos clean
 
 all: build
 
@@ -39,6 +39,24 @@ lint-ownership:
 	./_build/default/bin/lazyctrl_lint.exe --root . --ownership-report \
 	  > _build/ownership-report.json
 	@echo "wrote _build/ownership-report.json"
+
+# H00x hot-path cross-validation (DESIGN.md §10): measure every probe
+# declared in lib/analysis/hotspec.ml with the bench hotpath targets,
+# then judge the static verdict against the measured minor-words-per-op
+# and the committed HOTPATH_budget.  The SARIF report comes first
+# (non-gating, merged into code scanning by CI); the JSON report gates,
+# but is written either way so a failing tree still leaves the artifact.
+lint-hotpath:
+	dune build bin/lazyctrl_lint.exe bench/main.exe
+	./_build/default/bench/main.exe --quick hotpath \
+	  --json _build/hotpath-measured.json
+	./_build/default/bin/lazyctrl_lint.exe --root . --hotpath-report \
+	  --measured _build/hotpath-measured.json --format sarif \
+	  > _build/hotpath-report.sarif
+	./_build/default/bin/lazyctrl_lint.exe --root . --hotpath-report \
+	  --measured _build/hotpath-measured.json --check \
+	  > _build/hotpath-report.json
+	@echo "wrote _build/hotpath-report.json"
 
 bench:
 	dune exec bench/main.exe

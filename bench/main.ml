@@ -272,8 +272,9 @@ let perf_engine_event () =
        workload)
 
 (* bloom-query: membership probes on a G-FIB-sized plain filter, mixed
-   hits and misses. *)
-let perf_bloom_query () =
+   hits and misses.  [name] lets the hotpath suite reuse the same
+   steady-state workload under its probe id. *)
+let perf_bloom_query ?(name = "bloom-query") () =
   let module Bloom = Lazyctrl_bloom.Bloom in
   let n_probes = perf_scale 400_000 in
   let bloom = Bloom.create ~bits:(128 * 1024) () in
@@ -296,13 +297,13 @@ let perf_bloom_query () =
     done
   in
   perf_record
-    (Perf.Measure.run ~name:"bloom-query" ~reps:(perf_reps ())
-       ~ops_per_rep:n_probes workload);
+    (Perf.Measure.run ~name ~reps:(perf_reps ()) ~ops_per_rep:n_probes
+       workload);
   ignore !sink
 
 (* lfib-lookup: the switch's local fast path — MAC lookups against a
    64-host L-FIB, mixed local and remote destinations. *)
-let perf_lfib_lookup () =
+let perf_lfib_lookup ?(name = "lfib-lookup") () =
   let module Lfib = Lazyctrl_switch.Lfib in
   let n_lookups = perf_scale 400_000 in
   let lfib = Lfib.create () in
@@ -328,13 +329,13 @@ let perf_lfib_lookup () =
     done
   in
   perf_record
-    (Perf.Measure.run ~name:"lfib-lookup" ~reps:(perf_reps ())
-       ~ops_per_rep:n_lookups workload);
+    (Perf.Measure.run ~name ~reps:(perf_reps ()) ~ops_per_rep:n_lookups
+       workload);
   ignore !sink
 
 (* gfib-probe: the intra-group miss path — probe every peer filter of
    an 8-member group for a destination MAC and visit the candidates. *)
-let perf_gfib_probe () =
+let perf_gfib_probe ?(name = "gfib-probe") () =
   let module Gfib = Lazyctrl_switch.Gfib in
   let n_probes = perf_scale 200_000 in
   let gfib = Gfib.create ~bits_per_entry:128 ~expected_hosts_per_switch:64 () in
@@ -367,8 +368,8 @@ let perf_gfib_probe () =
     done
   in
   perf_record
-    (Perf.Measure.run ~name:"gfib-probe" ~reps:(perf_reps ())
-       ~ops_per_rep:n_probes workload);
+    (Perf.Measure.run ~name ~reps:(perf_reps ()) ~ops_per_rep:n_probes
+       workload);
   ignore !sink
 
 (* packet-replay: end-to-end — a small lazy-mode network, per-tenant
@@ -474,6 +475,122 @@ let perf_trace_overhead () =
     (100. *. ((off.Perf.Measure.ops_per_sec /. on.Perf.Measure.ops_per_sec) -. 1.))
     !recorded
 
+(* --- hot-path probes -------------------------------------------------------- *)
+
+(* The dynamic half of the H00x hot-path lint (DESIGN.md §10): one probe
+   per hot entry declared in lib/analysis/hotspec.ml, measured in minor
+   words per operation and gated against the committed HOTPATH_budget by
+   `lazyctrl_lint --hotpath-report --measured` (`make lint-hotpath`).
+   Workloads are steady-state: shared structures are built outside the
+   measured closure and the warmup rep absorbs growth, so the counters
+   see only the per-operation cost the static rules reason about. *)
+
+(* Statically allocated callback for hp-engine-step: scheduling it
+   builds no closure, so the probe isolates the engine's own loop. *)
+let hp_nop () = ()
+
+(* hp-engine-step: schedule-and-drain through the bare event loop
+   (Engine.step).  One engine across reps — slot and heap growth happen
+   during the warmup rep and the measured reps run at steady state. *)
+let perf_hp_engine_step () =
+  let module Engine = Lazyctrl_sim.Engine in
+  let module Time = Lazyctrl_sim.Time in
+  let n = perf_scale 200_000 in
+  let delays =
+    let rng = Lazyctrl_util.Prng.create 37 in
+    Array.init n (fun _ -> Time.of_ns (Lazyctrl_util.Prng.int rng 1_000_000))
+  in
+  let e = Engine.create () in
+  let drained = ref 0 in
+  let workload () =
+    for i = 0 to n - 1 do
+      ignore (Engine.schedule e ~after:(Array.unsafe_get delays i) hp_nop)
+    done;
+    let before = Engine.events_processed e in
+    while Engine.step e do () done;
+    drained := Engine.events_processed e - before
+  in
+  perf_record
+    (Perf.Measure.run ~name:"hp-engine-step" ~reps:(perf_reps ()) ~ops_per_rep:n
+       ~events:(fun () -> !drained)
+       workload)
+
+(* hp-edge-datapath: per-delivered-packet cost of the warm lazy
+   datapath (Edge_switch.handle_from_host/handle_underlay and everything
+   they reach).  One bootstrapped network; each rep starts the same
+   tenant flow set at the current simulated time and runs three more
+   minutes, so ARP resolution, learning and grouping are amortized away
+   by the sizing run and the measured reps ride the L-FIB/G-FIB fast
+   path.  This probe deliberately carries the allowlisted H001 residue
+   (packet values, flow-table hits) — its budget in HOTPATH_budget is
+   nonzero and documents that cost until the int-packed refactor. *)
+let perf_hp_edge_datapath () =
+  let module Time = Lazyctrl_sim.Time in
+  let module Network = Lazyctrl_core.Network in
+  let module Placement = Lazyctrl_topo.Placement in
+  let module Topology = Lazyctrl_topo.Topology in
+  let packets_per_flow = if !quick then 6 else 12 in
+  let topo =
+    Placement.generate
+      ~rng:(Lazyctrl_util.Prng.create 5)
+      {
+        Placement.n_switches = 8;
+        n_tenants = 4;
+        tenant_size_min = 6;
+        tenant_size_max = 10;
+        racks_per_tenant = 2;
+        stray_fraction = 0.1;
+      }
+  in
+  let net = Network.create ~mode:Network.Lazy ~topo ~horizon:(Time.of_min 5) () in
+  Network.bootstrap net ();
+  let cursor = ref (Time.of_sec 10) in
+  Network.run net ~until:!cursor;
+  let delivered () =
+    (Network.switch_stats_sum net).Lazyctrl_switch.Edge_switch.packets_delivered
+  in
+  let run_rep () =
+    List.iter
+      (fun tenant ->
+        match Topology.tenant_hosts topo tenant with
+        | first :: rest ->
+            List.iter
+              (fun (peer : Lazyctrl_net.Host.t) ->
+                Network.start_flow net ~src:first.Lazyctrl_net.Host.id
+                  ~dst:peer.id ~bytes:20_000 ~packets:packets_per_flow)
+              rest
+        | [] -> ())
+      (Topology.tenants topo);
+    cursor := Time.add !cursor (Time.of_min 3);
+    Network.run net ~until:!cursor
+  in
+  (* One sizing rep warms the datapath and fixes the deterministic
+     per-rep op count; Measure's own warmup then re-touches the caches. *)
+  let before = delivered () in
+  run_rep ();
+  let ops = max 1 (delivered () - before) in
+  let events = ref 0 in
+  perf_record
+    (Perf.Measure.run ~name:"hp-edge-datapath"
+       ~reps:(if !quick then 3 else 5)
+       ~ops_per_rep:ops
+       ~events:(fun () -> !events)
+       (fun () ->
+         run_rep ();
+         events := Lazyctrl_sim.Engine.events_processed (Network.engine net)))
+
+let t_hotpath () =
+  section
+    "Hot-path probes (minor words/op; gated against HOTPATH_budget by `make \
+     lint-hotpath`)";
+  Printf.printf "%-16s %14s %12s %12s %9s\n" "target" "ops/sec" "ns/op" "B/op"
+    "w/op";
+  perf_hp_engine_step ();
+  perf_bloom_query ~name:"hp-bloom-query" ();
+  perf_lfib_lookup ~name:"hp-lfib-lookup" ();
+  perf_gfib_probe ~name:"hp-gfib-probe" ();
+  perf_hp_edge_datapath ()
+
 let t_perf () =
   section "Perf regression targets (lib/perf; --json FILE for the report)";
   Printf.printf "%-16s %14s %12s %12s\n" "target" "ops/sec" "ns/op" "B/op";
@@ -532,6 +649,7 @@ let targets =
     ("ablate-appendix", t_ablate_appendix);
     ("micro", t_micro);
     ("perf", t_perf);
+    ("hotpath", t_hotpath);
     ("perf-replay", t_perf_replay);
     ("trace-overhead", t_trace_overhead);
   ]

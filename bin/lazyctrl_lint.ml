@@ -10,7 +10,8 @@
 
 let usage =
   "lazyctrl_lint [--root DIR] [--allow FILE] [--format text|json|sarif] \
-   [--check] [--rules FAMILIES] [--list-rules] [--ownership-report]"
+   [--check] [--rules FAMILIES] [--list-rules] [--ownership-report] \
+   [--hotpath-report [--budget FILE] [--measured FILE]]"
 
 type format = Text | Json | Sarif
 
@@ -21,6 +22,9 @@ let () =
   let check = ref false in
   let list_rules = ref false in
   let ownership_report = ref false in
+  let hotpath_report = ref false in
+  let budget = ref "HOTPATH_budget" in
+  let measured_file = ref None in
   let families = ref None in
   let set_format = function
     | "text" -> format := Text
@@ -70,12 +74,25 @@ let () =
       ( "--rules",
         Arg.String set_families,
         "FAMILIES comma-separated rule families to run (subset of \
-         D,A,P,E,L,X,S; default all)" );
+         D,A,P,E,L,X,S,H; default all)" );
       ("--list-rules", Arg.Set list_rules, " list rule identifiers and exit");
       ( "--ownership-report",
         Arg.Set ownership_report,
         " emit the shared-state ownership report as JSON and exit (the \
          sharding PR's synchronization worklist)" );
+      ( "--hotpath-report",
+        Arg.Set hotpath_report,
+        " emit the H00x hot-path cross-validation report and exit \
+         (--format json or sarif; with --check, exit 1 on findings)" );
+      ( "--budget",
+        Arg.Set_string budget,
+        "FILE minor-words-per-op budget file for --hotpath-report \
+         (default HOTPATH_budget, relative to --root)" );
+      ( "--measured",
+        Arg.String (fun f -> measured_file := Some f),
+        "FILE lib/perf report with measured hotpath probes (from \
+         bench/main.exe --quick hotpath --json FILE); omitting it makes \
+         every probe an unmeasured finding" );
     ]
   in
   Arg.parse spec
@@ -95,6 +112,32 @@ let () =
     if Filename.is_relative !allow then Filename.concat !root !allow
     else !allow
   in
+  if !hotpath_report then begin
+    let open Lazyctrl_analysis in
+    let measured =
+      match !measured_file with
+      | None -> []
+      | Some file -> (
+          match Lazyctrl_perf.Report.load file with
+          | Ok results ->
+              List.map
+                (fun (r : Lazyctrl_perf.Measure.result) ->
+                  (r.Lazyctrl_perf.Measure.name,
+                   r.Lazyctrl_perf.Measure.minor_words_per_op))
+                results
+          | Error msg ->
+              Printf.eprintf "cannot read measured report %s: %s\n" file msg;
+              exit 2)
+    in
+    let r =
+      Driver.hotpath_check ~root:!root ~allow_path ~budget_path:!budget
+        ~measured ()
+    in
+    (match !format with
+    | Sarif -> print_string (Sarif.of_findings r.Driver.hp_findings)
+    | Json | Text -> print_string (Driver.hotpath_report_json r));
+    exit (if !check && not (Driver.hotpath_clean r) then 1 else 0)
+  end;
   let report =
     Lazyctrl_analysis.Driver.run ?families:!families ~root:!root ~allow_path ()
   in

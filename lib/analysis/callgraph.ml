@@ -136,33 +136,74 @@ type body = {
   b_mutates : bool;
 }
 
-let collect_body e =
+let collect_body ?(note = fun (_ : string) -> ()) e =
   let vrefs = ref [] in
   let trefs = ref [] in
   let opens = ref [] in
   let uses = ref [] in
   let mutates = ref false in
+  (* Local [let module M = ...] bindings, innermost first.  References
+     through the bound name are rewritten to the binding's target (the
+     functor head for applications, mirroring the structure-level
+     [module T = F.Make(X)] alias), so those call edges survive instead
+     of being dropped silently. *)
+  let aliases = ref [] in
+  let rewrite p =
+    match p with
+    | head :: rest -> (
+        match List.assoc_opt head !aliases with
+        | Some target -> target @ rest
+        | None -> p)
+    | [] -> p
+  in
+  let rec local_module_head me =
+    match me.pmod_desc with
+    | Pmod_ident { txt; _ } -> flatten_longident txt
+    | Pmod_apply (f, _) | Pmod_apply_unit f | Pmod_constraint (f, _) ->
+        local_module_head f
+    | _ -> None
+  in
   let expr (it : Ast_iterator.iterator) e =
-    (match e.pexp_desc with
-    | Pexp_ident { txt; _ } -> (
-        match flatten_longident txt with
-        | Some p ->
-            vrefs := (p, loc_line e.pexp_loc, loc_col e.pexp_loc) :: !vrefs
-        | None -> ())
-    | Pexp_open (od, _) -> (
-        match od.popen_expr.pmod_desc with
-        | Pmod_ident { txt; _ } -> (
+    match e.pexp_desc with
+    | Pexp_letmodule (name, me, body) ->
+        uses := List.map rewrite (module_idents me) @ !uses;
+        Ast_iterator.default_iterator.module_expr it me;
+        (match (name.txt, local_module_head me) with
+        | Some n, Some target ->
+            aliases := (n, rewrite target) :: !aliases;
+            it.expr it body;
+            aliases := List.tl !aliases
+        | Some n, None ->
+            note
+              (Printf.sprintf
+                 "let module %s binds a non-ident module expression; \
+                  references through %s are tracked as opaque uses only"
+                 n n);
+            it.expr it body
+        | None, _ -> it.expr it body)
+    | _ ->
+        (match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> (
             match flatten_longident txt with
             | Some p ->
-                opens :=
-                  (p, loc_line od.popen_loc, loc_col od.popen_loc) :: !opens
+                vrefs :=
+                  (rewrite p, loc_line e.pexp_loc, loc_col e.pexp_loc)
+                  :: !vrefs
             | None -> ())
-        | _ -> ())
-    | Pexp_setfield _ | Pexp_setinstvar _ -> mutates := true
-    | Pexp_pack me -> uses := module_idents me @ !uses
-    | Pexp_letmodule (_, me, _) -> uses := module_idents me @ !uses
-    | _ -> ());
-    Ast_iterator.default_iterator.expr it e
+        | Pexp_open (od, _) -> (
+            match od.popen_expr.pmod_desc with
+            | Pmod_ident { txt; _ } -> (
+                match flatten_longident txt with
+                | Some p ->
+                    opens :=
+                      (rewrite p, loc_line od.popen_loc, loc_col od.popen_loc)
+                      :: !opens
+                | None -> ())
+            | _ -> ())
+        | Pexp_setfield _ | Pexp_setinstvar _ -> mutates := true
+        | Pexp_pack me -> uses := List.map rewrite (module_idents me) @ !uses
+        | _ -> ());
+        Ast_iterator.default_iterator.expr it e
   in
   let typ (it : Ast_iterator.iterator) ty =
     (match ty.ptyp_desc with
@@ -269,7 +310,8 @@ let rec walk_items cs ~lib_siblings (modpath : string list) items =
       | Pstr_value (_, vbs) ->
           List.iter
             (fun vb ->
-              let body = collect_body vb.pvb_expr in
+              let note s = cs.cs_notes <- s :: cs.cs_notes in
+              let body = collect_body ~note vb.pvb_expr in
               cs.cs_refs <-
                 List.map (mk_fref Value) body.b_vrefs
                 @ List.map (mk_fref Type) body.b_trefs
@@ -284,7 +326,8 @@ let rec walk_items cs ~lib_siblings (modpath : string list) items =
               add_def ~names ~loc:vb.pvb_loc ~body:(Some body))
             vbs
       | Pstr_eval (e, _) ->
-          let body = collect_body e in
+          let note s = cs.cs_notes <- s :: cs.cs_notes in
+          let body = collect_body ~note e in
           cs.cs_refs <-
             List.map (mk_fref Value) body.b_vrefs
             @ List.map (mk_fref Type) body.b_trefs
@@ -399,7 +442,9 @@ and walk_module cs ~lib_siblings modpath name mexpr =
       (* first-class module: the packed value's identity is dynamic, but
          the expression's own references still count (deadcode stays
          conservative), and the binding is noted as unresolved *)
-      let b = collect_body e in
+      let b =
+        collect_body ~note:(fun s -> cs.cs_notes <- s :: cs.cs_notes) e
+      in
       List.iter
         (fun r -> cs.cs_refs <- mk_fref Value r :: cs.cs_refs)
         b.b_vrefs;

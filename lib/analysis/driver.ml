@@ -196,7 +196,7 @@ let run ?(families = Rules.families) ~root ~allow_path () =
   (* Whole-program passes over the shared call graph. *)
   let cg_notes = ref [] in
   let whole_program =
-    if not (sel "E" || sel "L" || sel "X" || sel "S") then []
+    if not (sel "E" || sel "L" || sel "X" || sel "S" || sel "H") then []
     else begin
       let parsed =
         List.filter_map
@@ -256,7 +256,12 @@ let run ?(families = Rules.families) ~root ~allow_path () =
           Shard.check ~spec:Ownership.default ~cg ~structures:parsed ()
         else []
       in
-      e @ l @ x @ s
+      let h =
+        if sel "H" then
+          Hotpath.check ~spec:Hotspec.default ~cg ~structures:parsed ()
+        else []
+      in
+      e @ l @ x @ s @ h
     end
   in
   let all =
@@ -380,4 +385,134 @@ let ownership_report_json ~root () =
       end)
     files;
   Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+(* --- hotpath report --------------------------------------------------------- *)
+
+(* The `make lint-hotpath` gate (_build/hotpath-report.json): the static
+   H00x verdict per probe next to its committed budget and the measured
+   minor-words-per-op, with the cross-validation findings (H004/H005)
+   filtered through the same allowlist as everything else.  [measured]
+   comes from a lib/perf report produced by bench/main.exe's hotpath
+   targets; reading that file is the CLI's job. *)
+type hotpath_report = {
+  hp_probes : Hotpath.probe_status list;
+  hp_rows : Hotbudget.row list;
+  hp_findings : Finding.t list;  (* gating: unallowlisted static + dynamic *)
+  hp_suppressed : Finding.t list;
+}
+
+let hotpath_check ~root ~allow_path ~budget_path ~measured () =
+  let files =
+    List.concat_map (fun d -> files_under ~root ~suffix:".ml" d []) scan_dirs
+    |> List.sort String.compare
+  in
+  let cache = List.map (parse_cached ~root) files in
+  let parsed =
+    List.filter_map
+      (fun c ->
+        match c.c_parse with Ok s -> Some (c.c_file, s) | Error _ -> None)
+      cache
+  in
+  let aux =
+    List.concat_map (fun d -> files_under ~root ~suffix:".ml" d []) aux_dirs
+    |> List.sort String.compare
+    |> List.filter_map (fun rel ->
+           match (parse_cached ~root rel).c_parse with
+           | Ok s -> Some (rel, s)
+           | Error _ -> None)
+  in
+  let cg = Callgraph.build ~files:parsed ~aux in
+  let analysis = Hotpath.analyze ~spec:Hotspec.default ~cg ~structures:parsed () in
+  let budget, budget_findings =
+    let abs = Filename.concat root budget_path in
+    if Sys.file_exists abs then begin
+      let entries, errs = Hotbudget.parse (read_file abs) in
+      ( entries,
+        List.map
+          (fun msg ->
+            Finding.make ~file:budget_path ~line:1 ~rule:Rules.h_alloc_budget
+              ~severity:Finding.Error msg)
+          errs )
+    end
+    else
+      ( [],
+        [
+          Finding.make ~file:budget_path ~line:1 ~rule:Rules.h_alloc_budget
+            ~severity:Finding.Error
+            (Printf.sprintf
+               "budget file '%s' is missing; every declared probe needs a \
+                committed minor-words-per-op budget"
+               budget_path);
+        ] )
+  in
+  let rows, dynamic =
+    Hotbudget.evaluate ~budget_file:budget_path ~probes:analysis.Hotpath.a_probes
+      ~budget ~measured
+  in
+  (* Malformed-allowlist findings gate in the main lint run, not here. *)
+  let allow, _ = Allowlist.load allow_path in
+  let suppressed, gating =
+    List.partition
+      (fun (f : Finding.t) -> Allowlist.permits allow ~file:f.file ~rule:f.rule)
+      (analysis.Hotpath.a_findings @ budget_findings @ dynamic)
+  in
+  {
+    hp_probes = analysis.Hotpath.a_probes;
+    hp_rows = rows;
+    hp_findings = List.sort Finding.compare gating;
+    hp_suppressed = List.sort Finding.compare suppressed;
+  }
+
+let hotpath_clean r = List.is_empty r.hp_findings
+
+let hotpath_report_json r =
+  let buf = Buffer.create 4096 in
+  let str s = Printf.sprintf "\"%s\"" (Finding.json_escape s) in
+  let opt_num = function
+    | None -> "null"
+    | Some v -> Printf.sprintf "%.4f" v
+  in
+  Buffer.add_string buf "{\n  \"probes\": [";
+  List.iteri
+    (fun i (row : Hotbudget.row) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let entries =
+        match
+          List.find_opt
+            (fun (p : Hotpath.probe_status) ->
+              String.equal p.Hotpath.p_probe row.Hotbudget.r_probe)
+            r.hp_probes
+        with
+        | Some p -> p.Hotpath.p_entries
+        | None -> []
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"probe\": %s, \"entries\": [%s], \"static_alloc_sites\": \
+            %d, \"budget_words_per_op\": %s, \"measured_words_per_op\": %s, \
+            \"verdict\": %s}"
+           (str row.Hotbudget.r_probe)
+           (String.concat ", " (List.map str entries))
+           row.Hotbudget.r_static_sites
+           (opt_num row.Hotbudget.r_budget)
+           (opt_num row.Hotbudget.r_measured)
+           (str (Hotbudget.verdict_name row.Hotbudget.r_verdict))))
+    r.hp_rows;
+  let emit_list name findings tail =
+    Buffer.add_string buf (Printf.sprintf "\"%s\": [" name);
+    List.iteri
+      (fun i f ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf "\n    ";
+        Buffer.add_string buf (Finding.to_json f))
+      findings;
+    Buffer.add_string buf "\n  ]";
+    Buffer.add_string buf tail
+  in
+  Buffer.add_string buf "\n  ],\n  ";
+  emit_list "findings" r.hp_findings ",\n  ";
+  emit_list "suppressed" r.hp_suppressed "";
+  Buffer.add_string buf
+    (Printf.sprintf ",\n  \"clean\": %b\n}\n" (hotpath_clean r));
   Buffer.contents buf

@@ -41,3 +41,28 @@ val ownership_report_json : root:string -> unit -> string
     ownership class ({!Ownership.default}) next to its declared mutable
     state ({!Mutinv}), plus the spec's entry points.  Emitted by
     [make lint-ownership] into [_build/ownership-report.json]. *)
+
+(** The H00x cross-validation report ([make lint-hotpath],
+    [_build/hotpath-report.json]): the static verdict per probe next to
+    its committed budget and the measured minor-words-per-op, findings
+    filtered through the same allowlist as everything else. *)
+type hotpath_report = {
+  hp_probes : Hotpath.probe_status list;
+  hp_rows : Hotbudget.row list;
+  hp_findings : Finding.t list;
+      (** gating: unallowlisted static + dynamic findings *)
+  hp_suppressed : Finding.t list;
+}
+
+(** [measured] maps probe names to measured minor words/op, read out of a
+    lib/perf report by the CLI; [budget_path] is relative to [root]. *)
+val hotpath_check :
+  root:string ->
+  allow_path:string ->
+  budget_path:string ->
+  measured:(string * float) list ->
+  unit ->
+  hotpath_report
+
+val hotpath_clean : hotpath_report -> bool
+val hotpath_report_json : hotpath_report -> string

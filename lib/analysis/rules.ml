@@ -14,7 +14,10 @@
      internals; the controller drives switches only through Proto).
    - X00x: interface hygiene — dead exports and missing .mli files.
    - S00x: domain safety — the code against the shared-state ownership
-     spec (Ownership/Shard), gating the multicore shard refactor. *)
+     spec (Ownership/Shard), gating the multicore shard refactor.
+   - H00x: hot-path allocation discipline — the code against the declared
+     hot-path spec (Hotspec/Hotpath), cross-validated against measured
+     minor-words-per-op budgets (Hotbudget). *)
 
 let d_hashtbl_order = "D001-hashtbl-order"
 let d_raw_random = "D002-raw-random"
@@ -36,6 +39,12 @@ let s_spec = "S000-ownership-spec"
 let s_shared_mutable = "S001-shared-mutable"
 let s_closure_escape = "S002-closure-escape"
 let s_init_write = "S003-init-write"
+let h_spec = "H000-hotpath-spec"
+let h_hot_alloc = "H001-hot-alloc"
+let h_hot_indirect = "H002-hot-indirect"
+let h_hot_raise = "H003-hot-raise"
+let h_alloc_calibration = "H004-alloc-calibration"
+let h_alloc_budget = "H005-alloc-budget"
 
 let all =
   [
@@ -59,6 +68,12 @@ let all =
     s_shared_mutable;
     s_closure_escape;
     s_init_write;
+    h_spec;
+    h_hot_alloc;
+    h_hot_indirect;
+    h_hot_raise;
+    h_alloc_calibration;
+    h_alloc_budget;
   ]
 
 let is_known r = List.exists (String.equal r) all
@@ -66,7 +81,7 @@ let is_known r = List.exists (String.equal r) all
 (* Rule families, selectable with the CLI's [--rules] flag.  The family of
    a rule is the leading letter of its identifier; "allowlist" diagnostics
    (malformed entries) are not a family and always gate. *)
-let families = [ "D"; "A"; "P"; "E"; "L"; "X"; "S" ]
+let families = [ "D"; "A"; "P"; "E"; "L"; "X"; "S"; "H" ]
 let is_family f = List.exists (String.equal f) families
 
 let family_of rule =

@@ -113,22 +113,25 @@ let remove_matching t m =
   t.rows <- List.filter (fun l -> not (Ofmatch.subsumes m l.entry.ofmatch)) t.rows;
   before - List.length t.rows
 
+(* Fully-applied recursion (a local [let rec find = ...] would build a
+   closure per lookup, and lookup is on the per-packet hot path).  The
+   single [Some] boxing the hit is the lookup API and is allowlisted. *)
+let rec lookup_rows t ~now eth rows =
+  match rows with
+  | [] -> None
+  | l :: rest ->
+      if expired ~now l then lookup_rows t ~now eth rest
+      else if Ofmatch.matches l.entry.ofmatch eth then begin
+        t.hits <- t.hits + 1;
+        l.last_used <- now;
+        l.packets <- l.packets + 1;
+        Some l.entry.actions
+      end
+      else lookup_rows t ~now eth rest
+
 let lookup t ~now eth =
   t.lookups <- t.lookups + 1;
-  let rec find = function
-    | [] -> None
-    | l :: rest ->
-        if expired ~now l then find rest
-        else if Ofmatch.matches l.entry.ofmatch eth then Some l
-        else find rest
-  in
-  match find t.rows with
-  | None -> None
-  | Some l ->
-      t.hits <- t.hits + 1;
-      l.last_used <- now;
-      l.packets <- l.packets + 1;
-      Some l.entry.actions
+  lookup_rows t ~now eth t.rows
 
 let size t = List.length t.rows
 let capacity t = t.capacity

@@ -1,13 +1,19 @@
-(* Regression gate: diff two bench reports on ops/sec.
+(* Regression gate: diff two bench reports on ops/sec and allocation.
 
    A target regresses when current ops/sec drops more than [threshold]
-   (default 15%) below the baseline.  Targets missing from the current
-   run also fail — deleting a benchmark must be an explicit baseline
-   refresh, not a silent way to dodge the gate.  New targets (present
-   only in the current run) pass with a note; they gate once the
-   baseline is refreshed. *)
+   (default 15%) below the baseline, or when its minor-words-per-op
+   grows past baseline * (1 + threshold) + [alloc_slack] — the absolute
+   slack keeps allocation-free targets (baseline ~0 words/op) from
+   failing on measurement noise while still catching the first real
+   boxed value that appears on such a path.  Targets missing from the
+   current run also fail — deleting a benchmark must be an explicit
+   baseline refresh, not a silent way to dodge the gate.  New targets
+   (present only in the current run) pass with a note; they gate once
+   the baseline is refreshed. *)
 
 let default_threshold = 0.15
+
+let alloc_slack = 0.5
 
 type verdict = Ok_ | Improved | Regressed | New | Missing
 
@@ -16,6 +22,8 @@ type row = {
   baseline_ops : float option;
   current_ops : float option;
   ratio : float option;  (** current / baseline *)
+  baseline_words : float option;
+  current_words : float option;
   verdict : verdict;
 }
 
@@ -45,8 +53,13 @@ let diff ?(threshold = default_threshold) ~baseline ~current () =
         match (find name baseline, find name current) with
         | Some b, Some c ->
             let ratio = c.Measure.ops_per_sec /. b.Measure.ops_per_sec in
+            let alloc_regressed =
+              c.Measure.minor_words_per_op
+              > (b.Measure.minor_words_per_op *. (1.0 +. threshold))
+                +. alloc_slack
+            in
             let verdict =
-              if ratio < 1.0 -. threshold then Regressed
+              if ratio < 1.0 -. threshold || alloc_regressed then Regressed
               else if ratio > 1.0 +. threshold then Improved
               else Ok_
             in
@@ -55,6 +68,8 @@ let diff ?(threshold = default_threshold) ~baseline ~current () =
               baseline_ops = Some b.Measure.ops_per_sec;
               current_ops = Some c.Measure.ops_per_sec;
               ratio = Some ratio;
+              baseline_words = Some b.Measure.minor_words_per_op;
+              current_words = Some c.Measure.minor_words_per_op;
               verdict;
             }
         | Some b, None ->
@@ -63,6 +78,8 @@ let diff ?(threshold = default_threshold) ~baseline ~current () =
               baseline_ops = Some b.Measure.ops_per_sec;
               current_ops = None;
               ratio = None;
+              baseline_words = Some b.Measure.minor_words_per_op;
+              current_words = None;
               verdict = Missing;
             }
         | None, Some c ->
@@ -71,30 +88,54 @@ let diff ?(threshold = default_threshold) ~baseline ~current () =
               baseline_ops = None;
               current_ops = Some c.Measure.ops_per_sec;
               ratio = None;
+              baseline_words = None;
+              current_words = Some c.Measure.minor_words_per_op;
               verdict = New;
             }
         | None, None -> assert false)
       names
   in
   let failures =
-    List.filter_map
+    List.concat_map
       (fun row ->
         match row.verdict with
         | Regressed ->
-            Some
-              (Printf.sprintf
-                 "%s: %.0f -> %.0f ops/s (%.1f%% of baseline, threshold %.0f%%)"
-                 row.name
-                 (Option.value row.baseline_ops ~default:0.0)
-                 (Option.value row.current_ops ~default:0.0)
-                 (100.0 *. Option.value row.ratio ~default:0.0)
-                 (100.0 *. (1.0 -. threshold)))
+            let speed =
+              match row.ratio with
+              | Some r when r < 1.0 -. threshold ->
+                  [
+                    Printf.sprintf
+                      "%s: %.0f -> %.0f ops/s (%.1f%% of baseline, threshold \
+                       %.0f%%)"
+                      row.name
+                      (Option.value row.baseline_ops ~default:0.0)
+                      (Option.value row.current_ops ~default:0.0)
+                      (100.0 *. r)
+                      (100.0 *. (1.0 -. threshold));
+                  ]
+              | _ -> []
+            in
+            let alloc =
+              match (row.baseline_words, row.current_words) with
+              | Some bw, Some cw
+                when cw > (bw *. (1.0 +. threshold)) +. alloc_slack ->
+                  [
+                    Printf.sprintf
+                      "%s: allocation grew %.2f -> %.2f minor words/op \
+                       (limit %.2f)"
+                      row.name bw cw
+                      ((bw *. (1.0 +. threshold)) +. alloc_slack);
+                  ]
+              | _ -> []
+            in
+            speed @ alloc
         | Missing ->
-            Some
-              (Printf.sprintf
-                 "%s: present in baseline but absent from the current run"
-                 row.name)
-        | Ok_ | Improved | New -> None)
+            [
+              Printf.sprintf
+                "%s: present in baseline but absent from the current run"
+                row.name;
+            ]
+        | Ok_ | Improved | New -> [])
       rows
   in
   { rows; failures }
@@ -106,16 +147,21 @@ let pp_row fmt row =
     | Some v -> Printf.sprintf "%14.0f" v
     | None -> Printf.sprintf "%14s" "-"
   in
-  Format.fprintf fmt "%-16s %s %s  %s  %s" row.name
+  let words = function
+    | Some v -> Printf.sprintf "%9.2f" v
+    | None -> Printf.sprintf "%9s" "-"
+  in
+  Format.fprintf fmt "%-16s %s %s  %s %s %s  %s" row.name
     (opt row.baseline_ops) (opt row.current_ops)
     (match row.ratio with
     | Some r -> Printf.sprintf "%+6.1f%%" (100.0 *. (r -. 1.0))
     | None -> "      -")
+    (words row.baseline_words) (words row.current_words)
     (verdict_label row.verdict)
 
 let pp fmt outcome =
-  Format.fprintf fmt "%-16s %14s %14s  %7s  verdict@." "target"
-    "baseline op/s" "current op/s" "delta";
+  Format.fprintf fmt "%-16s %14s %14s  %7s %9s %9s  verdict@." "target"
+    "baseline op/s" "current op/s" "delta" "base w/op" "cur w/op";
   List.iter (fun row -> Format.fprintf fmt "%a@." pp_row row) outcome.rows;
   if passed outcome then Format.fprintf fmt "compare: PASS@."
   else begin

@@ -13,6 +13,7 @@ type result = {
   ops_per_sec : float;
   ns_per_op : float;
   alloc_bytes_per_op : float;
+  minor_words_per_op : float;
   events_fired : int;
 }
 
@@ -24,18 +25,23 @@ let run ~name ?(warmup = 1) ~reps ~ops_per_rep ?(events = fun () -> 0) f =
   done;
   let best_ns = ref max_int in
   let total_alloc = ref 0.0 in
+  let total_minor = ref 0.0 in
   for _ = 1 to reps do
     let a0 = Gc.allocated_bytes () in
+    let m0 = Gc.minor_words () in
     let t0 = Clock.now_ns () in
     f ();
     let dt = Clock.elapsed_ns ~since:t0 in
+    let dm = Gc.minor_words () -. m0 in
     let da = Gc.allocated_bytes () -. a0 in
     if dt < !best_ns then best_ns := dt;
-    total_alloc := !total_alloc +. da
+    total_alloc := !total_alloc +. da;
+    total_minor := !total_minor +. dm
   done;
   (* Clamp to 1ns: a sub-tick measurement must not divide by zero. *)
   let best_ns = float_of_int (max 1 !best_ns) in
   let ops = float_of_int ops_per_rep in
+  let reps_f = float_of_int reps in
   {
     name;
     ops_per_sec = ops /. (best_ns /. 1e9);
@@ -43,11 +49,16 @@ let run ~name ?(warmup = 1) ~reps ~ops_per_rep ?(events = fun () -> 0) f =
     (* Allocation is averaged over every repetition, not the fastest
        one: bytes are deterministic per repetition, so the average is
        exact and unaffected by timer noise. *)
-    alloc_bytes_per_op = !total_alloc /. float_of_int reps /. ops;
+    alloc_bytes_per_op = !total_alloc /. reps_f /. ops;
+    (* Minor words are what the H00x hot-path budget gates: the direct
+       count of minor-heap allocation, in words, the unit Gc reports
+       natively (alloc_bytes also folds in major allocation). *)
+    minor_words_per_op = !total_minor /. reps_f /. ops;
     events_fired = events ();
   }
 
 let pp_row fmt r =
-  Format.fprintf fmt "%-16s %12.0f ops/s %10.1f ns/op %10.1f B/op"
-    r.name r.ops_per_sec r.ns_per_op r.alloc_bytes_per_op;
+  Format.fprintf fmt "%-16s %12.0f ops/s %10.1f ns/op %10.1f B/op %9.2f w/op"
+    r.name r.ops_per_sec r.ns_per_op r.alloc_bytes_per_op
+    r.minor_words_per_op;
   if r.events_fired > 0 then Format.fprintf fmt " %10d events" r.events_fired

@@ -12,6 +12,9 @@ type result = {
   ns_per_op : float;  (** inverse view of [ops_per_sec] *)
   alloc_bytes_per_op : float;
       (** [Gc.allocated_bytes] delta averaged over all repetitions *)
+  minor_words_per_op : float;
+      (** [Gc.minor_words] delta averaged over all repetitions — the
+          quantity the H00x hot-path budgets (HOTPATH_budget) gate *)
   events_fired : int;  (** engine events the workload fired; 0 if n/a *)
 }
 

@@ -3,11 +3,14 @@
    Version history:
      1 — { schema_version, suite, benchmarks: [ { name, ops_per_sec,
           ns_per_op, alloc_bytes_per_op, events_fired } ] }
+     2 — adds minor_words_per_op per benchmark, so the regression gate
+          (Compare) and the H00x hot-path budgets (HOTPATH_budget) can
+          gate allocation alongside throughput
 
    Readers reject any other version outright: a silent best-effort
    parse of a future schema would turn the regression gate into noise. *)
 
-let schema_version = 1
+let schema_version = 2
 
 let suite = "lazyctrl-bench"
 
@@ -26,6 +29,7 @@ let to_json (results : Measure.result list) =
                    ("ops_per_sec", Json.Num r.ops_per_sec);
                    ("ns_per_op", Json.Num r.ns_per_op);
                    ("alloc_bytes_per_op", Json.Num r.alloc_bytes_per_op);
+                   ("minor_words_per_op", Json.Num r.minor_words_per_op);
                    ("events_fired", Json.Num (float_of_int r.events_fired));
                  ])
              results) );
@@ -47,6 +51,7 @@ let decode_benchmark obj =
       let* ops_per_sec = field_float "ops_per_sec" obj in
       let* ns_per_op = field_float "ns_per_op" obj in
       let* alloc_bytes_per_op = field_float "alloc_bytes_per_op" obj in
+      let* minor_words_per_op = field_float "minor_words_per_op" obj in
       let* events_fired = field_float "events_fired" obj in
       Ok
         {
@@ -54,6 +59,7 @@ let decode_benchmark obj =
           ops_per_sec;
           ns_per_op;
           alloc_bytes_per_op;
+          minor_words_per_op;
           events_fired = int_of_float events_fired;
         }
 

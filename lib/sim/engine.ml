@@ -226,42 +226,42 @@ let cancel t id =
 
 let pending t = t.live
 
-let step t =
-  let rec next () =
-    if Flat.is_empty t.heap then false
+(* Direct recursion over cancelled tombstones: a local [let rec] helper
+   here would allocate one closure per call, on the hottest loop in the
+   simulator (hp-engine-step). *)
+let rec step t =
+  if Flat.is_empty t.heap then false
+  else begin
+    let slot = Flat.min_payload t.heap in
+    if t.s_state.(slot) = st_cancelled then begin
+      Flat.remove_min t.heap;
+      free_slot t slot;
+      step t
+    end
     else begin
-      let slot = Flat.min_payload t.heap in
-      if t.s_state.(slot) = st_cancelled then begin
-        Flat.remove_min t.heap;
+      let time_ns = Flat.min_time t.heap in
+      Flat.remove_min t.heap;
+      t.clock <- Time.of_ns time_ns;
+      t.live <- t.live - 1;
+      t.fired <- t.fired + 1;
+      let ridx = t.s_recur.(slot) in
+      if ridx < 0 then begin
+        let f = t.s_action.(slot) in
         free_slot t slot;
-        next ()
+        f ()
       end
       else begin
-        let time_ns = Flat.min_time t.heap in
-        Flat.remove_min t.heap;
-        t.clock <- Time.of_ns time_ns;
-        t.live <- t.live - 1;
-        t.fired <- t.fired + 1;
-        let ridx = t.s_recur.(slot) in
-        if ridx < 0 then begin
-          let f = t.s_action.(slot) in
-          free_slot t slot;
-          f ()
-        end
-        else begin
-          free_slot t slot;
-          t.r_slot.(ridx) <- -1;
-          (t.r_f.(ridx)) ();
-          (* The callback may have cancelled its own recurrence (or the
-             recurrence arrays may have grown under us) — re-read. *)
-          if t.r_state.(ridx) = st_armed then arm_recur t ridx
-          else if t.r_state.(ridx) = st_cancelled then free_recur t ridx
-        end;
-        true
-      end
+        free_slot t slot;
+        t.r_slot.(ridx) <- -1;
+        (t.r_f.(ridx)) ();
+        (* The callback may have cancelled its own recurrence (or the
+           recurrence arrays may have grown under us) — re-read. *)
+        if t.r_state.(ridx) = st_armed then arm_recur t ridx
+        else if t.r_state.(ridx) = st_cancelled then free_recur t ridx
+      end;
+      true
     end
-  in
-  next ()
+  end
 
 let run ?until t =
   match until with

@@ -250,10 +250,12 @@ let deliver t host pkt =
   t.env.deliver_local host pkt
 
 (* The underlay address encoding is global knowledge (172.16/12 + switch
-   id), so the reverse mapping needs no lookup service. *)
-let switch_of_underlay_ip ip =
+   id), so the reverse mapping needs no lookup service.  Returns the raw
+   switch index, or -1 when the address is outside the underlay block —
+   an option here would box on the per-encap hot path. *)
+let switch_idx_of_underlay_ip ip =
   let idx = Ipv4.to_int ip - Ipv4.to_int (Ipv4.of_switch_id 0) in
-  if idx >= 0 && idx < 1 lsl 16 then Some (Ids.Switch_id.of_int idx) else None
+  if idx >= 0 && idx < 1 lsl 16 then idx else -1
 
 let count_intensity t sid =
   let key = Ids.Switch_id.to_int sid in
@@ -391,10 +393,8 @@ let advertise_pending t =
 
 let local_arp_target t (eth : Packet.eth) =
   match eth.payload with
-  | Packet.Arp { op = Packet.Request; target_ip; _ } -> (
-      match Lfib.lookup_ip t.lfib target_ip with
-      | Some host -> Some host
-      | None -> None)
+  | Packet.Arp { op = Packet.Request; target_ip; _ } ->
+      Lfib.lookup_ip t.lfib target_ip
   | _ -> None
 
 (* Deliver a group/controller-relayed ARP broadcast to the local owner, if
@@ -472,25 +472,30 @@ let flood_local t (eth : Packet.eth) =
         deliver t h (Packet.Plain eth))
     (Lfib.hosts t.lfib)
 
+(* Recursion over the action list rather than [List.iter (fun ...)]: the
+   literal would capture [t]/[packet] and allocate a closure per packet
+   on the flow-table hit path. *)
 let rec apply_actions t packet actions =
-  let eth = Packet.eth_of packet in
-  List.iter
-    (function
+  match actions with
+  | [] -> ()
+  | action :: rest ->
+      (match action with
       | Action.Deliver hid -> (
           match Lfib.lookup_id t.lfib hid with
           | Some h -> deliver t h packet
           | None -> ())
       | Action.Encap ip ->
-          (match switch_of_underlay_ip ip with
-          | Some sid -> count_intensity t sid
-          | None -> ());
+          let idx = switch_idx_of_underlay_ip ip in
+          if idx >= 0 then count_intensity t (Ids.Switch_id.of_int idx);
           t.s_encap <- t.s_encap + 1;
           t.env.send_underlay
-            (Packet.encap ~outer_src:(t.env.underlay_ip_of t.self) ~outer_dst:ip eth)
-      | Action.Flood_local -> flood_local t eth
+            (Packet.encap
+               ~outer_src:(t.env.underlay_ip_of t.self)
+               ~outer_dst:ip (Packet.eth_of packet))
+      | Action.Flood_local -> flood_local t (Packet.eth_of packet)
       | Action.To_controller -> punt t packet Message.Action_punt
-      | Action.Drop -> ())
-    actions
+      | Action.Drop -> ());
+      apply_actions t packet rest
 
 and data_path t packet =
   let eth = Packet.eth_of packet in
@@ -542,6 +547,13 @@ let handle_from_host t host packet =
     | Packet.Arp { op = Packet.Reply; _ } | Packet.Ipv4 _ -> data_path t packet
   end
 
+(* §III-D4 misdelivery telemetry, off by default; declared a cold
+   boundary — its frequency is the Bloom false-positive rate ε, not the
+   packet rate. *)
+let report_false_positive t dst =
+  if t.config.report_false_positives then
+    send_controller t (Message.Extension (Proto.False_positive { at = t.self; dst }))
+
 let handle_underlay t packet =
   if t.up then
     match packet with
@@ -553,10 +565,7 @@ let handle_underlay t packet =
               (* Bloom false positive on the IP key. *)
               t.s_fp_drops <- t.s_fp_drops + 1;
               trace t Tev.Bloom_fp;
-              if t.config.report_false_positives then
-                send_controller t
-                  (Message.Extension
-                     (Proto.False_positive { at = t.self; dst = inner.dst }))
+              report_false_positive t inner.dst
             end
         | Packet.Arp { op = Packet.Reply; _ } | Packet.Ipv4 _ -> (
             (* Controller-installed rules (e.g. detour routes, §III-E2)
@@ -573,10 +582,7 @@ let handle_underlay t packet =
                 | None ->
                     t.s_fp_drops <- t.s_fp_drops + 1;
                     trace_pkt t (Packet.Plain inner) Tev.Bloom_fp;
-                    if t.config.report_false_positives then
-                      send_controller t
-                        (Message.Extension
-                           (Proto.False_positive { at = t.self; dst = inner.dst })))))
+                    report_false_positive t inner.dst)))
 
 (* --- wheel keep-alives ----------------------------------------------------- *)
 

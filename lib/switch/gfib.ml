@@ -24,17 +24,20 @@ let create ?(bits_per_entry = 128) ?(expected_hosts_per_switch = 64) () =
 
 let invalidate t = t.peer_cache <- None
 
+(* The rebuild allocates freely; it runs only after a membership change
+   (set_peer/drop_peer/adopt), never per packet — a declared cold
+   boundary in the H00x hot-path spec. *)
+let rebuild_peer_cache t =
+  let a =
+    Ids.Switch_id.Tbl.fold (fun p f acc -> (p, f) :: acc) t.filters []
+    |> List.sort (fun (a, _) (b, _) -> Ids.Switch_id.compare a b)
+    |> Array.of_list
+  in
+  t.peer_cache <- Some a;
+  a
+
 let peer_array t =
-  match t.peer_cache with
-  | Some a -> a
-  | None ->
-      let a =
-        Ids.Switch_id.Tbl.fold (fun p f acc -> (p, f) :: acc) t.filters []
-        |> List.sort (fun (a, _) (b, _) -> Ids.Switch_id.compare a b)
-        |> Array.of_list
-      in
-      t.peer_cache <- Some a;
-      a
+  match t.peer_cache with Some a -> a | None -> rebuild_peer_cache t
 
 let fresh_filter t =
   (* Two keys (MAC + IP) per host. *)
@@ -89,17 +92,20 @@ let candidates key t =
 let candidates_mac t mac = candidates (Proto.mac_key mac) t
 let candidates_ip t ip = candidates (Proto.ip_key ip) t
 
-let iter_candidates key t f =
-  let a = peer_array t in
-  let n = ref 0 in
-  for i = 0 to Array.length a - 1 do
+(* Match counting by recursion: a [ref] counter would be a per-probe
+   minor allocation on the packet path. *)
+let rec iter_candidates_from a key f i n =
+  if i >= Array.length a then n
+  else begin
     let p, flt = Array.unsafe_get a i in
     if Bloom.Counting.mem flt key then begin
-      incr n;
-      f p
+      f p;
+      iter_candidates_from a key f (i + 1) (n + 1)
     end
-  done;
-  !n
+    else iter_candidates_from a key f (i + 1) n
+  end
+
+let iter_candidates key t f = iter_candidates_from (peer_array t) key f 0 0
 
 let iter_candidates_mac t mac f = iter_candidates (Proto.mac_key mac) t f
 let iter_candidates_ip t ip f = iter_candidates (Proto.ip_key ip) t f

@@ -126,26 +126,57 @@ module Flat = struct
      hole, halving the array writes of a swap-based sift. All indices
      stay within [0, size), so unsafe accesses are in bounds. *)
 
+  (* The sift loops recurse on the hole index instead of holding it in a
+     local [ref]: push/remove_min run once per simulator event
+     (hp-engine-step), and a ref cell is a 2-word minor allocation. *)
+  let rec sift_up tm sq pl ~time ~seq i =
+    if i = 0 then 0
+    else
+      let parent = (i - 1) / 2 in
+      let pt = Array.unsafe_get tm parent in
+      if pt > time || (pt = time && Array.unsafe_get sq parent > seq) then begin
+        Array.unsafe_set tm i pt;
+        Array.unsafe_set sq i (Array.unsafe_get sq parent);
+        Array.unsafe_set pl i (Array.unsafe_get pl parent);
+        sift_up tm sq pl ~time ~seq parent
+      end
+      else i
+
   let push t ~time ~seq ~payload =
     if t.size = Array.length t.time then grow t;
     let tm = t.time and sq = t.seq and pl = t.payload in
-    let i = ref t.size in
+    let start = t.size in
     t.size <- t.size + 1;
-    let moving = ref true in
-    while !moving && !i > 0 do
-      let parent = (!i - 1) / 2 in
-      let pt = Array.unsafe_get tm parent in
-      if pt > time || (pt = time && Array.unsafe_get sq parent > seq) then begin
-        Array.unsafe_set tm !i pt;
-        Array.unsafe_set sq !i (Array.unsafe_get sq parent);
-        Array.unsafe_set pl !i (Array.unsafe_get pl parent);
-        i := parent
+    let i = sift_up tm sq pl ~time ~seq start in
+    Array.unsafe_set tm i time;
+    Array.unsafe_set sq i seq;
+    Array.unsafe_set pl i payload
+
+  let rec sift_down tm sq pl ~n ~time ~seq i =
+    let l = (2 * i) + 1 in
+    if l >= n then i
+    else begin
+      let r = l + 1 in
+      let c =
+        if r < n then begin
+          let lt = Array.unsafe_get tm l and rt = Array.unsafe_get tm r in
+          if
+            rt < lt
+            || (rt = lt && Array.unsafe_get sq r < Array.unsafe_get sq l)
+          then r
+          else l
+        end
+        else l
+      in
+      let ct = Array.unsafe_get tm c in
+      if ct < time || (ct = time && Array.unsafe_get sq c < seq) then begin
+        Array.unsafe_set tm i ct;
+        Array.unsafe_set sq i (Array.unsafe_get sq c);
+        Array.unsafe_set pl i (Array.unsafe_get pl c);
+        sift_down tm sq pl ~n ~time ~seq c
       end
-      else moving := false
-    done;
-    Array.unsafe_set tm !i time;
-    Array.unsafe_set sq !i seq;
-    Array.unsafe_set pl !i payload
+      else i
+    end
 
   let remove_min t =
     if t.size = 0 then invalid_arg "Heap.Flat.remove_min: empty heap";
@@ -158,37 +189,10 @@ module Flat = struct
       let time = Array.unsafe_get tm n
       and seq = Array.unsafe_get sq n
       and payload = Array.unsafe_get pl n in
-      let i = ref 0 in
-      let moving = ref true in
-      while !moving do
-        let l = (2 * !i) + 1 in
-        if l >= n then moving := false
-        else begin
-          let r = l + 1 in
-          let c =
-            if r < n then begin
-              let lt = Array.unsafe_get tm l and rt = Array.unsafe_get tm r in
-              if
-                rt < lt
-                || (rt = lt && Array.unsafe_get sq r < Array.unsafe_get sq l)
-              then r
-              else l
-            end
-            else l
-          in
-          let ct = Array.unsafe_get tm c in
-          if ct < time || (ct = time && Array.unsafe_get sq c < seq) then begin
-            Array.unsafe_set tm !i ct;
-            Array.unsafe_set sq !i (Array.unsafe_get sq c);
-            Array.unsafe_set pl !i (Array.unsafe_get pl c);
-            i := c
-          end
-          else moving := false
-        end
-      done;
-      Array.unsafe_set tm !i time;
-      Array.unsafe_set sq !i seq;
-      Array.unsafe_set pl !i payload
+      let i = sift_down tm sq pl ~n ~time ~seq 0 in
+      Array.unsafe_set tm i time;
+      Array.unsafe_set sq i seq;
+      Array.unsafe_set pl i payload
     end
 end
 

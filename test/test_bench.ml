@@ -23,7 +23,7 @@ let expected_targets =
   [
     "table2"; "fig6a"; "fig6b"; "fig7"; "fig8"; "fig9"; "table1"; "chaos";
     "coldcache"; "storage"; "ablate-size"; "ablate-bloom"; "ablate-appendix";
-    "micro"; "perf"; "perf-replay";
+    "micro"; "perf"; "perf-replay"; "hotpath";
   ]
 
 let test_list () =

@@ -13,12 +13,13 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   go 0
 
-let mk ?(events = 0) ?(alloc = 0.) name ops =
+let mk ?(events = 0) ?(alloc = 0.) ?(words = 0.) name ops =
   {
     Measure.name;
     ops_per_sec = ops;
     ns_per_op = 1e9 /. ops;
     alloc_bytes_per_op = alloc;
+    minor_words_per_op = words;
     events_fired = events;
   }
 
@@ -63,9 +64,9 @@ let test_measure_run_invalid () =
 let test_report_roundtrip () =
   let rs =
     [
-      mk ~events:225_200 ~alloc:186.9 "engine-event" 477_903.25;
+      mk ~events:225_200 ~alloc:186.9 ~words:23.4 "engine-event" 477_903.25;
       mk "bloom-query" 43_100_000.;
-      mk ~alloc:0.5 "lfib-lookup" 2.37e7;
+      mk ~alloc:0.5 ~words:1.65 "lfib-lookup" 2.37e7;
     ]
   in
   match Report.of_string (Report.to_string rs) with
@@ -79,6 +80,8 @@ let test_report_roundtrip () =
           check (Alcotest.float 1e-3) "ns" a.ns_per_op b.ns_per_op;
           check (Alcotest.float 1e-3) "alloc" a.alloc_bytes_per_op
             b.alloc_bytes_per_op;
+          check (Alcotest.float 1e-3) "minor words" a.minor_words_per_op
+            b.minor_words_per_op;
           check Alcotest.int "events" a.events_fired b.events_fired)
         rs back
 
@@ -177,9 +180,36 @@ let test_compare_missing_and_new () =
   check Alcotest.string "improved verdict" "improved"
     (Compare.verdict_label (verdict_of o_improved "engine-event"))
 
+let test_compare_alloc_regression () =
+  (* Same throughput, but engine-event now allocates well past
+     baseline * 1.15 + 0.5 words/op: the alloc gate alone must fail. *)
+  let base = [ mk ~words:10.0 "engine-event" 1e6; mk "bloom-query" 4e7 ] in
+  let current = [ mk ~words:20.0 "engine-event" 1e6; mk "bloom-query" 4e7 ] in
+  let o = Compare.diff ~baseline:base ~current () in
+  check Alcotest.bool "alloc growth fails" false (Compare.passed o);
+  check Alcotest.string "regressed verdict" "REGRESSED"
+    (Compare.verdict_label (verdict_of o "engine-event"));
+  check Alcotest.bool "failure names allocation" true
+    (List.exists (fun m -> contains m "allocation grew") o.Compare.failures);
+  (* Noise on an allocation-free target stays inside the absolute
+     slack... *)
+  let o_noise =
+    Compare.diff ~baseline:base
+      ~current:[ mk ~words:10.3 "engine-event" 1e6; mk ~words:0.4 "bloom-query" 4e7 ] ()
+  in
+  check Alcotest.bool "slack tolerates noise" true (Compare.passed o_noise);
+  (* ...but one boxed value per op on a zero-alloc baseline does not. *)
+  let o_boxed =
+    Compare.diff ~baseline:base
+      ~current:[ mk ~words:10.0 "engine-event" 1e6; mk ~words:2.0 "bloom-query" 4e7 ] ()
+  in
+  check Alcotest.bool "new boxing on clean target fails" false
+    (Compare.passed o_boxed)
+
 let test_compare_threshold_validation () =
   check (Alcotest.float 1e-12) "default threshold" 0.15
     Compare.default_threshold;
+  check (Alcotest.float 1e-12) "alloc slack" 0.5 Compare.alloc_slack;
   let bad t () =
     ignore (Compare.diff ~threshold:t ~baseline ~current:baseline ())
   in
@@ -223,6 +253,8 @@ let () =
             test_compare_regression;
           Alcotest.test_case "missing/new/improved" `Quick
             test_compare_missing_and_new;
+          Alcotest.test_case "alloc regression" `Quick
+            test_compare_alloc_regression;
           Alcotest.test_case "threshold validation" `Quick
             test_compare_threshold_validation;
           Alcotest.test_case "pretty printers" `Quick test_compare_pp;

@@ -1,6 +1,7 @@
 (* Tests for lazyctrl.util: PRNG, heaps, union-find, statistics, tables. *)
 
 module Prng = Lazyctrl_util.Prng
+module Intmap = Lazyctrl_util.Intmap
 module Heap = Lazyctrl_util.Heap
 module Union_find = Lazyctrl_util.Union_find
 module Stats = Lazyctrl_util.Stats
@@ -348,6 +349,62 @@ let test_table_render () =
   check Alcotest.int "line count" 4
     (List.length (String.split_on_char '\n' s))
 
+(* --- Intmap ----------------------------------------------------------- *)
+
+let test_intmap_basics () =
+  let m = Intmap.create ~capacity:4 () in
+  check Alcotest.int "empty" 0 (Intmap.length m);
+  Intmap.replace m 7 "seven";
+  Intmap.replace m 0 "zero";
+  Intmap.replace m (-3) "minus";
+  check Alcotest.int "three live" 3 (Intmap.length m);
+  check Alcotest.bool "mem hit" true (Intmap.mem m 7);
+  check Alcotest.bool "mem miss" false (Intmap.mem m 8);
+  check (Alcotest.option Alcotest.string) "find hit" (Some "minus")
+    (Intmap.find m (-3));
+  check (Alcotest.option Alcotest.string) "find miss" None (Intmap.find m 99);
+  Intmap.replace m 7 "SEVEN";
+  check Alcotest.int "overwrite keeps length" 3 (Intmap.length m);
+  check (Alcotest.option Alcotest.string) "overwrite visible" (Some "SEVEN")
+    (Intmap.find m 7);
+  Intmap.remove m 0;
+  Intmap.remove m 0;
+  check Alcotest.int "remove is idempotent" 2 (Intmap.length m);
+  check Alcotest.bool "removed key gone" false (Intmap.mem m 0)
+
+let test_intmap_sentinels_rejected () =
+  let m = Intmap.create () in
+  Alcotest.check_raises "min_int"
+    (Invalid_argument "Intmap: min_int and min_int+1 are reserved sentinel keys")
+    (fun () -> Intmap.replace m min_int ());
+  Alcotest.check_raises "min_int+1"
+    (Invalid_argument "Intmap: min_int and min_int+1 are reserved sentinel keys")
+    (fun () -> ignore (Intmap.find m (min_int + 1)))
+
+(* Churn through growth and tombstone reuse, mirrored against Hashtbl. *)
+let test_intmap_matches_hashtbl () =
+  let m = Intmap.create ~capacity:2 () in
+  let h = Hashtbl.create 16 in
+  let rng = Prng.create 11 in
+  for _ = 1 to 5_000 do
+    let k = Prng.int rng 400 - 200 in
+    if Prng.int rng 4 = 0 then begin
+      Intmap.remove m k;
+      Hashtbl.remove h k
+    end
+    else begin
+      let v = Prng.int rng 1_000_000 in
+      Intmap.replace m k v;
+      Hashtbl.replace h k v
+    end
+  done;
+  check Alcotest.int "same cardinality" (Hashtbl.length h) (Intmap.length m);
+  for k = -200 to 200 do
+    check (Alcotest.option Alcotest.int)
+      (Printf.sprintf "key %d agrees" k)
+      (Hashtbl.find_opt h k) (Intmap.find m k)
+  done
+
 let test_table_cells () =
   check Alcotest.string "float" "1.50" (Table.cell_float 1.5);
   check Alcotest.string "nan" "-" (Table.cell_float nan);
@@ -382,6 +439,14 @@ let () =
           test_flat_heap_matches_poly;
         ] );
       ("union_find", [ Alcotest.test_case "basics" `Quick test_union_find ]);
+      ( "intmap",
+        [
+          Alcotest.test_case "basics" `Quick test_intmap_basics;
+          Alcotest.test_case "sentinel keys rejected" `Quick
+            test_intmap_sentinels_rejected;
+          Alcotest.test_case "churn matches Hashtbl" `Quick
+            test_intmap_matches_hashtbl;
+        ] );
       ( "stats",
         [
           Alcotest.test_case "online mean/var" `Quick test_online_mean_var;
