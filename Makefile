@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-check lint-json lint-sarif lint-ownership lint-hotpath bench bench-json bench-check chaos clean
+.PHONY: all build test lint lint-check lint-json lint-sarif lint-ownership lint-hotpath bench bench-json bench-check chaos chaos-cluster clean
 
 all: build
 
@@ -75,6 +75,11 @@ bench-check: bench-json
 chaos:
 	dune exec bin/lazyctrl_cli.exe -- chaos
 	dune exec bench/main.exe -- --quick chaos
+
+# Controller-cluster chaos: kill/partition cluster members mid-run and
+# check re-homing, disjoint ownership and cluster-wide exactly-once.
+chaos-cluster:
+	dune exec bin/lazyctrl_cli.exe -- chaos --cluster
 
 clean:
 	dune clean

@@ -475,6 +475,45 @@ let perf_trace_overhead () =
     (100. *. ((off.Perf.Measure.ops_per_sec /. on.Perf.Measure.ops_per_sec) -. 1.))
     !recorded
 
+(* cluster-migration: end-to-end controller-cluster failover — a
+   3-member cluster absorbs a controller kill mid-run (slave-spoke
+   probes, adoption, Rehome handshake, miss-buffer drain, EASM
+   failback) while tenant flows keep flowing.  One rep is the whole
+   seeded scenario; ops are delivered packets, so the rate prices the
+   coordination overhead against useful data-plane work. *)
+let perf_cluster_migration () =
+  let module Chaos_runner = Lazyctrl_cluster.Chaos_runner in
+  let module Scenario = Lazyctrl_chaos.Scenario in
+  let module Fault = Lazyctrl_chaos.Fault in
+  let cfg =
+    let base = Chaos_runner.default_config in
+    {
+      base with
+      Chaos_runner.loss = 0.0;
+      dup = 0.0;
+      n_switches = (if !quick then 10 else 16);
+      spec =
+        {
+          base.Chaos_runner.spec with
+          Scenario.kinds = [ Fault.Controller_kill ];
+          n_faults = 1;
+        };
+    }
+  in
+  (* The scenario is deterministic: size the op count from a dry run,
+     which doubles as the warmup. *)
+  let probe = Chaos_runner.run cfg in
+  let ops =
+    max 1
+      probe.Chaos_runner.switch_stats
+        .Lazyctrl_switch.Edge_switch.packets_delivered
+  in
+  perf_record
+    (Perf.Measure.run ~name:"cluster-migration" ~warmup:0
+       ~reps:(if !quick then 3 else 4)
+       ~ops_per_rep:ops
+       (fun () -> ignore (Chaos_runner.run cfg)))
+
 (* --- hot-path probes -------------------------------------------------------- *)
 
 (* The dynamic half of the H00x hot-path lint (DESIGN.md §10): one probe
@@ -599,6 +638,7 @@ let t_perf () =
   perf_lfib_lookup ();
   perf_gfib_probe ();
   perf_packet_replay ();
+  perf_cluster_migration ();
   perf_trace_overhead ()
 
 (* Just the end-to-end packet-replay perf target: the cheap smoke entry
@@ -608,6 +648,12 @@ let t_perf_replay () =
   section "Perf: packet-replay only (pipeline smoke target)";
   Printf.printf "%-16s %14s %12s %12s\n" "target" "ops/sec" "ns/op" "B/op";
   perf_packet_replay ()
+
+(* Just the cluster-migration perf target, runnable on its own. *)
+let t_cluster_migration () =
+  section "Perf: controller-cluster failover scenario (cluster-migration)";
+  Printf.printf "%-16s %14s %12s %12s\n" "target" "ops/sec" "ns/op" "B/op";
+  perf_cluster_migration ()
 
 (* Just the tracer-overhead target, runnable on its own. *)
 let t_trace_overhead () =
@@ -651,6 +697,7 @@ let targets =
     ("perf", t_perf);
     ("hotpath", t_hotpath);
     ("perf-replay", t_perf_replay);
+    ("cluster-migration", t_cluster_migration);
     ("trace-overhead", t_trace_overhead);
   ]
 

@@ -420,6 +420,7 @@ let experiment name quick =
   | "table1" ->
       print (E.Failover_exp.inference_table ());
       print (E.Failover_exp.endtoend_table ())
+  | "cluster-failover" -> print (E.Cluster_exp.table ())
   | "chaos" ->
       print
         (E.Chaos_exp.table
@@ -440,8 +441,8 @@ let experiment_cmd =
       & info [] ~docv:"NAME"
           ~doc:
             "table1 | table2 | fig6a | fig6b | fig7 | fig8 | fig9 | chaos | \
-             coldcache | storage | ablate-size | ablate-negotiation | \
-             ablate-bloom")
+             cluster-failover | coldcache | storage | ablate-size | \
+             ablate-negotiation | ablate-bloom")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller workloads, faster runs.")
@@ -452,7 +453,75 @@ let experiment_cmd =
 
 (* --- chaos ----------------------------------------------------------------- *)
 
-let chaos seed switches tenants loss raw faults window =
+let chaos_cluster seed switches tenants loss faults window members =
+  let module Chaos = Lazyctrl_chaos in
+  let module CR = Lazyctrl_cluster.Chaos_runner in
+  let base = CR.default_config in
+  let cfg =
+    {
+      base with
+      CR.seed;
+      n_members = members;
+      n_switches = switches;
+      n_tenants = tenants;
+      loss;
+      dup = loss /. 5.0;
+      spec =
+        {
+          base.CR.spec with
+          Chaos.Scenario.n_faults = faults;
+          window = Time.of_sec window;
+        };
+    }
+  in
+  Printf.printf
+    "chaos --cluster: %d controllers, %d switches, %d tenants, %.0f%% loss, %d \
+     faults over %ds (seed %d)\n%!"
+    members switches tenants (100. *. loss) faults window seed;
+  let r = CR.run cfg in
+  print_endline "fault schedule:";
+  List.iter
+    (fun e -> Printf.printf "  %s\n" (Format.asprintf "%a" Chaos.Fault.pp_event e))
+    r.CR.events;
+  let s = r.CR.reliability in
+  Printf.printf
+    "reliable sessions: %d data sent, %d retransmits, %d dups ignored, %d \
+     give-ups, %d violations\n"
+    s.Lazyctrl_openflow.Reliable.data_sent
+    s.Lazyctrl_openflow.Reliable.retransmits
+    s.Lazyctrl_openflow.Reliable.dups_ignored
+    s.Lazyctrl_openflow.Reliable.give_ups
+    s.Lazyctrl_openflow.Reliable.violations;
+  let m = r.CR.member_stats in
+  Printf.printf
+    "cluster: %d rehomes, %d adoptions, %d releases, %d handoffs, %d peer \
+     deaths / %d revivals, %d controller-failure verdicts\n"
+    m.Lazyctrl_cluster.Member.rehomes_sent m.Lazyctrl_cluster.Member.adoptions
+    m.Lazyctrl_cluster.Member.releases
+    m.Lazyctrl_cluster.Member.handoffs_offered
+    m.Lazyctrl_cluster.Member.peer_deaths
+    m.Lazyctrl_cluster.Member.peer_revivals
+    m.Lazyctrl_cluster.Member.controller_failure_verdicts;
+  Printf.printf
+    "traffic: %d flows started, %d delivered, %d unresolved; involvement %.4f\n"
+    r.CR.flows_started r.CR.flows_delivered r.CR.resolutions_failed
+    r.CR.involvement;
+  print_endline "invariants after settling:";
+  List.iter
+    (fun rep ->
+      Printf.printf "  %s\n" (Format.asprintf "%a" Chaos.Invariant.pp_report rep))
+    r.CR.reports;
+  match r.CR.converged_after with
+  | Some t ->
+      Printf.printf "converged %.1f s after the last repair\n"
+        (Time.to_float_sec t)
+  | None ->
+      print_endline "DID NOT CONVERGE before the settle deadline";
+      exit 1
+
+let chaos seed switches tenants loss raw faults window cluster members =
+  if cluster then chaos_cluster seed switches tenants loss faults window members
+  else begin
   let module Chaos = Lazyctrl_chaos in
   let spec =
     {
@@ -510,6 +579,7 @@ let chaos seed switches tenants loss raw faults window =
   | None ->
       print_endline "DID NOT CONVERGE before the settle deadline";
       exit 1
+  end
 
 let chaos_cmd =
   let loss =
@@ -543,13 +613,31 @@ let chaos_cmd =
     Arg.(
       value & opt int 6 & info [ "tenants" ] ~docv:"N" ~doc:"Number of tenants.")
   in
+  let cluster =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:
+            "Run against a controller cluster instead of the single \
+             controller: faults are drawn from the cluster vocabulary \
+             (controller kills, coordination partitions, switch power \
+             cycles, loss storms) and the cluster invariants — re-homing, \
+             disjoint ownership, cluster-wide exactly-once — are checked.")
+  in
+  let members =
+    Arg.(
+      value & opt int 3
+      & info [ "members" ] ~docv:"N"
+          ~doc:"Cluster size for $(b,--cluster).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Inject a seeded multi-fault scenario into a lossy network and \
           check the convergence invariants.")
     Term.(
-      const chaos $ seed_arg $ switches $ tenants $ loss $ raw $ faults $ window)
+      const chaos $ seed_arg $ switches $ tenants $ loss $ raw $ faults
+      $ window $ cluster $ members)
 
 let () =
   let info =

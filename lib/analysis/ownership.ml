@@ -245,6 +245,27 @@ let default =
                channels between them; under sharding it becomes the \
                cross-domain event exchange";
         };
+        (* The controller cluster: each member's coordination state is
+           pinned to its own controller domain; the plane and the Coord
+           grammar are the crossing fabric between those domains. *)
+        { path = "lib/cluster/member.ml"; cls = Shard_local; why = None };
+        {
+          path = "lib/cluster/coord.ml";
+          cls = Shard_crossing;
+          why =
+            Some
+              "the Coord grammar is the inter-controller wire format; \
+               values are immutable messages, ownership transfers on send";
+        };
+        {
+          path = "lib/cluster/plane.ml";
+          cls = Shard_crossing;
+          why =
+            Some
+              "the cluster wiring owns every inter-domain channel plus the \
+               management-plane uplink/term arrays, the synchronous \
+               arbitration point for mastership claims";
+        };
         {
           path = "lib/metrics/";
           cls = Shard_crossing;

@@ -18,21 +18,51 @@ open Parsetree
 
 (* --- P001: failure-inference table --------------------------------------- *)
 
-(* Table I, keyed (up_lost, down_lost, ctrl_lost). *)
-let expected_table =
-  [
-    ((false, false, false), "Healthy");
-    ((false, false, true), "Control_link_failure");
-    ((true, false, false), "Peer_link_up_failure");
-    ((false, true, false), "Peer_link_down_failure");
-    ((true, true, true), "Switch_failure");
-    ((true, true, false), "Ambiguous");
-    ((true, false, true), "Ambiguous");
-    ((false, true, true), "Ambiguous");
-  ]
+(* The paper's Table I, keyed (up_lost, down_lost, ctrl_lost). *)
+let base_verdict = function
+  | false, false, false -> "Healthy"
+  | false, false, true -> "Control_link_failure"
+  | true, false, false -> "Peer_link_up_failure"
+  | false, true, false -> "Peer_link_down_failure"
+  | true, true, true -> "Switch_failure"
+  | _ -> "Ambiguous"
 
-let pp_obs (u, d, c) =
-  Printf.sprintf "{up_lost=%b; down_lost=%b; ctrl_lost=%b}" u d c
+(* The extended table, keyed (up_lost, down_lost, ctrl_lost,
+   peer_answering, master_silent) — all 2^5 observations.  The cluster's
+   second echo spoke overrides the base table exactly when it proves the
+   switch alive while the master echo is lost: master also silent on the
+   coordination plane means the controller instance died; otherwise only
+   the control link did.  Every other observation reduces to Table I. *)
+let expected_table =
+  let bools = [ false; true ] in
+  List.concat_map
+    (fun u ->
+      List.concat_map
+        (fun d ->
+          List.concat_map
+            (fun c ->
+              List.concat_map
+                (fun p ->
+                  List.map
+                    (fun m ->
+                      let verdict =
+                        if p && c then
+                          if m then "Controller_failure"
+                          else "Control_link_failure"
+                        else base_verdict (u, d, c)
+                      in
+                      ((u, d, c, p, m), verdict))
+                    bools)
+                bools)
+            bools)
+        bools)
+    bools
+
+let pp_obs (u, d, c, p, m) =
+  Printf.sprintf
+    "{up_lost=%b; down_lost=%b; ctrl_lost=%b; peer_answering=%b; \
+     master_silent=%b}"
+    u d c p m
 
 let flatten_longident lid = try Some (Longident.flatten lid) with _ -> None
 
@@ -44,7 +74,7 @@ let last_component lid =
 
 (* Does [pat] match observation (u, d, c)?  Returns None when the pattern
    uses a form this symbolic evaluator does not understand. *)
-let rec pattern_matches pat ((u, d, c) as obs) =
+let rec pattern_matches pat ((u, d, c, pa, ms) as obs) =
   match pat.ppat_desc with
   | Ppat_any | Ppat_var _ -> Some true
   | Ppat_alias (p, _) | Ppat_constraint (p, _) -> pattern_matches p obs
@@ -58,6 +88,8 @@ let rec pattern_matches pat ((u, d, c) as obs) =
         if String.equal name "up_lost" then Some u
         else if String.equal name "down_lost" then Some d
         else if String.equal name "ctrl_lost" then Some c
+        else if String.equal name "peer_answering" then Some pa
+        else if String.equal name "master_silent" then Some ms
         else None
       in
       let rec eval = function
@@ -136,7 +168,7 @@ let check_failover ~file structure =
       let first_match = Array.make n_cases false in
       let observations = List.map fst expected_table in
       List.iter
-        (fun ((u, d, c) as obs) ->
+        (fun obs ->
           let rec try_cases idx = function
             | [] ->
                 emit ~loc:infer_loc ~severity:Finding.Error
@@ -153,12 +185,12 @@ let check_failover ~file structure =
                   | None ->
                       emit ~loc:case.pc_lhs.ppat_loc ~severity:Finding.Error
                         "unsupported pattern form in infer; use record \
-                         patterns over up_lost/down_lost/ctrl_lost with \
-                         literal booleans"
+                         patterns over up_lost/down_lost/ctrl_lost/\
+                         peer_answering/master_silent with literal booleans"
                   | Some false -> try_cases (idx + 1) rest
                   | Some true -> (
                       first_match.(idx) <- true;
-                      let expected = List.assoc (u, d, c) expected_table in
+                      let expected = List.assoc obs expected_table in
                       match verdict_of_expr case.pc_rhs with
                       | None ->
                           emit ~loc:case.pc_rhs.pexp_loc

@@ -7,8 +7,13 @@ type kind =
   | Peer_link
   | Data_path
   | Burst_loss
+  | Controller_kill
+  | Controller_partition
 
 let all_kinds = [ Switch_off; Control_link; Peer_link; Data_path; Burst_loss ]
+
+let cluster_kinds =
+  [ Controller_kill; Controller_partition; Switch_off; Burst_loss ]
 
 let kind_label = function
   | Switch_off -> "switch off"
@@ -16,6 +21,8 @@ let kind_label = function
   | Peer_link -> "peer link"
   | Data_path -> "data path"
   | Burst_loss -> "burst loss"
+  | Controller_kill -> "controller kill"
+  | Controller_partition -> "controller partition"
 
 type event = {
   at : Time.t;       (** offset from injection time *)
@@ -40,5 +47,11 @@ let pp_event fmt e =
         (kind_label e.kind)
   | Switch_off | Control_link ->
       Format.fprintf fmt "%a+%a %s sw%d" Time.pp e.at Time.pp e.duration
+        (kind_label e.kind)
+        (Ids.Switch_id.to_int e.primary)
+  | Controller_kill | Controller_partition ->
+      (* [primary] is reduced to a member index (mod cluster size) by the
+         cluster injector; print it raw so fingerprints stay stable. *)
+      Format.fprintf fmt "%a+%a %s #%d" Time.pp e.at Time.pp e.duration
         (kind_label e.kind)
         (Ids.Switch_id.to_int e.primary)

@@ -13,8 +13,21 @@ type kind =
   | Peer_link      (** sever a peer channel pair *)
   | Data_path      (** break the one-way underlay path, with notification *)
   | Burst_loss     (** network-wide loss storm on all control channels *)
+  | Controller_kill
+      (** kill one controller-cluster member mid-run (cluster planes
+          only; a no-op on the single-controller plane) *)
+  | Controller_partition
+      (** cut one member off the coordination mesh — control links stay
+          up, so both sides of the split keep claiming switches until
+          the heal reconciles terms (cluster planes only) *)
 
 val all_kinds : kind list
+(** The single-controller vocabulary (no cluster faults). *)
+
+val cluster_kinds : kind list
+(** What a controller-cluster plane can inject: the two controller
+    faults plus the switch/loss faults that remain meaningful there. *)
+
 val kind_label : kind -> string
 
 type event = {
@@ -22,6 +35,8 @@ type event = {
   duration : Time.t;
   kind : kind;
   primary : Ids.Switch_id.t;
+      (** for controller faults, reduced to a member index by the
+          injector ([to_int] mod cluster size) *)
   secondary : Ids.Switch_id.t;
       (** the far end for [Peer_link]/[Data_path]; ignored otherwise *)
 }

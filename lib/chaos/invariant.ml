@@ -50,7 +50,7 @@ let check_clib controller live =
 (* No Bloom false negative: within a group, every live member's G-FIB must
    name every other live member as a candidate for each of that member's
    hosts. (False positives are expected; false negatives never are.) *)
-let check_bloom _net live =
+let check_bloom live =
   let live_up sw = List.exists (fun (s, _) -> Sid.equal s sw) live in
   let missing = ref [] in
   List.iter
@@ -85,7 +85,7 @@ let check_bloom _net live =
   let bad = List.sort_uniq String.compare !missing in
   { name = "no Bloom false negative"; ok = List.is_empty bad; detail = String.concat " " bad }
 
-let check_grouped _net live =
+let check_grouped live =
   let bad =
     List.filter_map
       (fun (sw, es) ->
@@ -105,8 +105,7 @@ let check_monitor controller =
   in
   { name = "all monitors healthy"; ok = List.is_empty bad; detail = String.concat " " bad }
 
-let check_exactly_once net =
-  let s = Network.reliability_stats net in
+let check_exactly_once_stats (s : Lazyctrl_openflow.Reliable.stats) =
   {
     name = "no duplicate delivery";
     ok = s.Lazyctrl_openflow.Reliable.violations = 0;
@@ -115,15 +114,18 @@ let check_exactly_once net =
        else Printf.sprintf "%d violations" s.Lazyctrl_openflow.Reliable.violations);
   }
 
+let check_exactly_once net =
+  check_exactly_once_stats (Network.reliability_stats net)
+
 let check_all net =
   match Network.lazy_controller net with
   | None -> []
   | Some controller ->
       let live = live_switches net in
       [
-        check_grouped net live;
+        check_grouped live;
         check_clib controller live;
-        check_bloom net live;
+        check_bloom live;
         check_monitor controller;
         check_exactly_once net;
       ]

@@ -13,12 +13,33 @@
       (the transport's own exactly-once audit).
 
     [check_all] returns the empty list in OpenFlow mode (no lazy-plane
-    invariants apply), which [all_ok] treats as passing. *)
+    invariants apply), which [all_ok] treats as passing.
 
+    The per-check cores are exported so planes other than
+    {!Lazyctrl_core.Network} — notably the controller-cluster plane — can
+    compose the same invariants over their own switch and controller
+    inventories. *)
+
+open Lazyctrl_net
 open Lazyctrl_core
+open Lazyctrl_switch
+open Lazyctrl_controller
 
 type report = { name : string; ok : bool; detail : string }
 
 val pp_report : Format.formatter -> report -> unit
 val all_ok : report list -> bool
+
+val live_switches : Network.t -> (Ids.Switch_id.t * Edge_switch.t) list
+
+val check_grouped : (Ids.Switch_id.t * Edge_switch.t) list -> report
+val check_clib :
+  Controller.t -> (Ids.Switch_id.t * Edge_switch.t) list -> report
+val check_bloom : (Ids.Switch_id.t * Edge_switch.t) list -> report
+val check_monitor : Controller.t -> report
+
+val check_exactly_once_stats : Lazyctrl_openflow.Reliable.stats -> report
+(** The transport audit over an already-aggregated stats record — what a
+    multi-controller plane sums over all its sessions. *)
+
 val check_all : Network.t -> report list

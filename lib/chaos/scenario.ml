@@ -94,6 +94,11 @@ let inject net spec ~baseline events =
               fun () ->
                 Network.repair_data_path net ~src:e.primary ~dst:e.secondary )
         | Fault.Burst_loss -> (start_burst, end_burst)
+        | Fault.Controller_kill | Fault.Controller_partition ->
+            (* Cluster-only faults: the single-controller plane has no
+               member to kill or mesh to cut. The cluster runner has its
+               own injector over [Lazyctrl_cluster.Plane]. *)
+            ((fun () -> ()), fun () -> ())
       in
       ignore (Engine.schedule engine ~after:e.at fail);
       ignore (Engine.schedule engine ~after:(Fault.repair_at e) repair))

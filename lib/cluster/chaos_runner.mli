@@ -1,0 +1,60 @@
+(** Chaos harness for the controller cluster — the `lazyctrl chaos
+    --cluster` backend.
+
+    Builds an [n_members]-controller {!Plane}, warms it up, schedules
+    seeded tenant flows across the fault window so faults land under
+    traffic, injects a {!Lazyctrl_chaos.Scenario} drawn from the cluster
+    fault vocabulary (controller kills, coordination-mesh partitions,
+    switch power cycles, loss storms), and then polls the invariant
+    monitors until quiescence.
+
+    On top of the single-plane invariants (checked per alive member) it
+    asserts two cluster-specific ones:
+
+    - [homed]: every live switch's management-plane master is alive,
+      holds a group configuration covering the switch, and the switch's
+      own mastership term agrees with the management plane;
+    - [disjoint-ownership]: no group is mastered by two alive members.
+
+    The whole run is deterministic: the same config yields a
+    byte-identical [fingerprint]. *)
+
+open Lazyctrl_sim
+open Lazyctrl_openflow
+open Lazyctrl_switch
+open Lazyctrl_chaos
+
+type config = {
+  seed : int;
+  n_members : int;
+  n_switches : int;
+  n_tenants : int;
+  loss : float;    (** baseline loss on switch control + peer channels *)
+  dup : float;
+  spec : Scenario.spec;
+  flows_per_tenant : int;
+  warmup : Time.t;
+  settle : Time.t;  (** budget after the last repair to reach quiescence *)
+  poll : Time.t;
+}
+
+val default_config : config
+(** 3 members, 16 switches, 4 faults over 40 s drawn from
+    {!Lazyctrl_chaos.Fault.cluster_kinds}, lossless baseline. *)
+
+type result = {
+  events : Fault.event list;
+  reports : Invariant.report list;
+  converged_after : Time.t option;
+  reliability : Reliable.stats;
+  switch_stats : Edge_switch.stats;
+  member_stats : Member.stats;
+  flows_started : int;
+  flows_delivered : int;
+  resolutions_failed : int;
+  involvement : float;
+      (** controller-involvement ratio: punted / datapath decisions *)
+  fingerprint : string;
+}
+
+val run : config -> result

@@ -1,0 +1,58 @@
+open Lazyctrl_net
+open Lazyctrl_switch
+module Message = Lazyctrl_openflow.Message
+
+type view_entry = {
+  v_group : Ids.Group_id.t;
+  v_term : int;
+  v_owner : int;
+  v_members : Ids.Switch_id.t list;
+}
+
+type t =
+  | Hello of { from : int; load : int }
+  | Clib_delta of { from : int; delta : Proto.lfib_delta }
+  | Arp_relay of { from : int; origin : Ids.Switch_id.t; packet : Packet.t }
+  | Fwd of { from : int; dst : Ids.Switch_id.t; msg : Proto.t Message.t }
+  | Owner_view of { from : int; view : view_entry list }
+  | Handoff of { from : int; entry : view_entry }
+  | Claimed of { from : int; entry : view_entry }
+  | Seq of { epoch : int; seq : int; payload : t }
+  | Ack of { epoch : int; cum : int }
+
+let entry_size e = 16 + (4 * List.length e.v_members)
+
+let rec size_estimate = function
+  | Hello _ -> 10
+  | Clib_delta { delta; _ } -> 6 + Proto.size_estimate (Proto.Lfib_advert delta)
+  | Arp_relay { packet; _ } -> 12 + Packet.size_on_wire packet
+  | Fwd { msg; _ } -> 10 + Message.size_estimate Proto.size_estimate msg
+  | Owner_view { view; _ } ->
+      6 + List.fold_left (fun acc e -> acc + entry_size e) 0 view
+  | Handoff { entry; _ } | Claimed { entry; _ } -> 6 + entry_size entry
+  | Seq { payload; _ } -> 12 + size_estimate payload
+  | Ack _ -> 12
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%a:t%d@c%d(|%d|)" Ids.Group_id.pp e.v_group e.v_term
+    e.v_owner (List.length e.v_members)
+
+let rec pp fmt = function
+  | Hello { from; load } -> Format.fprintf fmt "hello(c%d,load=%d)" from load
+  | Clib_delta { from; delta } ->
+      Format.fprintf fmt "clib_delta(c%d,%a)" from Proto.pp
+        (Proto.Lfib_advert delta)
+  | Arp_relay { from; origin; _ } ->
+      Format.fprintf fmt "arp_relay(c%d,origin=%a)" from Ids.Switch_id.pp origin
+  | Fwd { from; dst; msg } ->
+      Format.fprintf fmt "fwd(c%d,%a,%a)" from Ids.Switch_id.pp dst
+        (Message.pp Proto.pp) msg
+  | Owner_view { from; view } ->
+      Format.fprintf fmt "owner_view(c%d,|%d|)" from (List.length view)
+  | Handoff { from; entry } ->
+      Format.fprintf fmt "handoff(c%d,%a)" from pp_entry entry
+  | Claimed { from; entry } ->
+      Format.fprintf fmt "claimed(c%d,%a)" from pp_entry entry
+  | Seq { epoch; seq; payload } ->
+      Format.fprintf fmt "seq(e%d,#%d,%a)" epoch seq pp payload
+  | Ack { epoch; cum } -> Format.fprintf fmt "ack(e%d,<=%d)" epoch cum

@@ -1,0 +1,68 @@
+(** The controller-cluster coordination protocol.
+
+    Cluster members (controller instances each owning a slice of the
+    LCGs) exchange these messages over a full mesh of point-to-point
+    coordination links. The grammar splits into two delivery classes:
+
+    - {e raw} messages ride the channel as-is. Their loss is either the
+      liveness signal itself ([Hello]), recovered by an application-level
+      retry (ARP relays are re-driven by host retransmission), or
+      repaired wholesale at the next full resync ([Clib_delta], whose
+      rows are re-exchanged in full whenever a peer transitions
+      dead → alive).
+    - {e ownership} messages ([Owner_view], [Handoff], [Claimed]) travel
+      inside per-peer {!Lazyctrl_openflow.Reliable} sessions — boxed in
+      [Seq]/[Ack] envelopes exactly like the switch control links — so a
+      migration or failover decision is never silently dropped, and the
+      transport's exactly-once audit extends across the cluster. *)
+
+open Lazyctrl_net
+open Lazyctrl_switch
+module Message = Lazyctrl_openflow.Message
+
+type view_entry = {
+  v_group : Ids.Group_id.t;
+  v_term : int;
+      (** mastership generation of the group's current claim; terms
+          totally order claims, and a claimant always picks a term
+          congruent to its own index mod the cluster size, so two
+          members can never claim with equal terms *)
+  v_owner : int;  (** member index currently mastering the group *)
+  v_members : Ids.Switch_id.t list;
+}
+
+type t =
+  | Hello of { from : int; load : int }
+      (** periodic liveness beacon; [load] is the sender's owned-group
+          count (raw — its absence is the failure detector) *)
+  | Clib_delta of { from : int; delta : Proto.lfib_delta }
+      (** C-LIB gossip: every locally learnt delta is broadcast so all
+          members converge on the global host map (raw; full rows are
+          re-sent on peer revival) *)
+  | Arp_relay of { from : int; origin : Ids.Switch_id.t; packet : Packet.t }
+      (** cross-shard ARP: the sender found no owner in its C-LIB and
+          already broadcast into its own groups; receivers broadcast
+          into theirs (raw; host ARP retries re-drive losses) *)
+  | Fwd of { from : int; dst : Ids.Switch_id.t; msg : Proto.t Message.t }
+      (** a control-link message for a switch the sender no longer
+          masters, forwarded to the current master (raw; end-to-end
+          reliability lives in the controller ↔ switch sessions) *)
+  | Owner_view of { from : int; view : view_entry list }
+      (** full ownership table of the sender, exchanged on revival and
+          partition heal to reconcile divergent claims (reliable) *)
+  | Handoff of { from : int; entry : view_entry }
+      (** EASM load-triggered migration offer: "adopt this group"; the
+          sender keeps mastering it until the [Claimed] comes back, so
+          no window exists with zero masters (reliable) *)
+  | Claimed of { from : int; entry : view_entry }
+      (** claim announcement after an adoption (failover or handoff);
+          carries the new term so losers release (reliable) *)
+  | Seq of { epoch : int; seq : int; payload : t }
+      (** reliable-delivery envelope, numbered by
+          {!Lazyctrl_openflow.Reliable} *)
+  | Ack of { epoch : int; cum : int }
+
+val size_estimate : t -> int
+(** Approximate wire size for channel accounting. *)
+
+val pp : Format.formatter -> t -> unit

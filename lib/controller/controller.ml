@@ -97,6 +97,9 @@ type t = {
   mutable request_hook : unit -> unit;
   mutable update_hook : unit -> unit;
   mutable failover_hook : Sid.t -> Failover.verdict -> unit;
+  mutable clib_delta_hook : Proto.lfib_delta -> unit;
+  mutable arp_relay_hook : origin:Sid.t -> Packet.t -> unit;
+  mutable timers : Engine.event_id list;
   (* stats *)
   mutable s_packet_ins : int;
   mutable s_arp_escalations : int;
@@ -135,6 +138,9 @@ let create ?(tracer = Tracer.disabled) env config ~n_switches =
     request_hook = (fun () -> ());
     update_hook = (fun () -> ());
     failover_hook = (fun _ _ -> ());
+    clib_delta_hook = (fun _ -> ());
+    arp_relay_hook = (fun ~origin:_ _ -> ());
+    timers = [];
     s_packet_ins = 0;
     s_arp_escalations = 0;
     s_state_reports = 0;
@@ -156,6 +162,8 @@ let group_config_of t sw = t.configs.(Sid.to_int sw)
 let set_request_hook t f = t.request_hook <- f
 let set_update_hook t f = t.update_hook <- f
 let set_failover_hook t f = t.failover_hook <- f
+let set_clib_delta_hook t f = t.clib_delta_hook <- f
+let set_arp_relay_hook t f = t.arp_relay_hook <- f
 
 let now t = Engine.now t.env.engine
 
@@ -186,7 +194,8 @@ let session t sw =
   | Some s -> s
   | None ->
       let s =
-        Reliable.create ~tracer:t.tracer t.env.engine t.config.retrans
+        Reliable.create ~tracer:t.tracer ~rng:t.env.rng t.env.engine
+          t.config.retrans
           ~send_data:(fun ~epoch ~seq payload ->
             send t sw (Message.Extension (Proto.Seq { epoch; seq; payload })))
           ~send_ack:(fun ~epoch ~cum ->
@@ -450,6 +459,7 @@ let verdict_trace_label (v : Failover.verdict) =
   | Failover.Peer_link_up_failure -> "peer_link_up_failure"
   | Failover.Peer_link_down_failure -> "peer_link_down_failure"
   | Failover.Switch_failure -> "switch_failure"
+  | Failover.Controller_failure -> "controller_failure"
 
 let handle_verdict t sw verdict =
   let open Failover in
@@ -484,6 +494,12 @@ let handle_verdict t sw verdict =
           if List.exists (Sid.equal cfg.designated) ends then
             reselect_designated t cfg ~exclude:ends;
           Failover.Monitor.ring_recovered t.monitor sw)
+  | Controller_failure ->
+      (* The switch is alive on our backup spoke but its master
+         controller died: the re-home handshake is the cluster layer's
+         job (driven through the failover hook above); nothing to
+         reboot or relay here. *)
+      t.s_failovers <- t.s_failovers + 1
   | Switch_failure ->
       t.s_failovers <- t.s_failovers + 1;
       t.awaiting_recovery <- Sid.Set.add sw t.awaiting_recovery;
@@ -568,21 +584,37 @@ let designated_of_group t gid =
     t.configs;
   !found
 
+(* Unknown target: relay into every group *we* configure that hosts the
+   tenant. Shared between local escalations and escalations relayed by a
+   cluster peer — a remote origin simply has no group here, so no group
+   is skipped. *)
+let relay_unknown_target t ~origin packet =
+  let eth = Packet.eth_of packet in
+  let origin_group = group_of_switch t origin in
+  match Clib.tenant_of_mac t.clib eth.Packet.src with
+  | None -> ()
+  | Some tenant ->
+      let groups =
+        Clib.switches_of_tenant t.clib tenant
+        |> List.filter_map (group_of_switch t)
+        |> List.sort_uniq Ids.Group_id.compare
+      in
+      List.iter
+        (fun gid ->
+          if not (Option.equal Ids.Group_id.equal (Some gid) origin_group) then
+            match designated_of_group t gid with
+            | Some d ->
+                t.s_arp_relays <- t.s_arp_relays + 1;
+                send t d (Message.Extension (Proto.Arp_broadcast { packet }))
+            | None -> ())
+        groups
+
 let relay_arp t ~origin packet =
   trace t ~switch:(Sid.to_int origin) Tev.Ctrl_arp_relay;
   let eth = Packet.eth_of packet in
   match target_ip_of_arp eth with
   | None -> ()
   | Some target_ip -> (
-      let origin_group = group_of_switch t origin in
-      let relay_to_group gid =
-        if not (Option.equal Ids.Group_id.equal (Some gid) origin_group) then
-          match designated_of_group t gid with
-          | Some d ->
-              t.s_arp_relays <- t.s_arp_relays + 1;
-              send t d (Message.Extension (Proto.Arp_broadcast { packet }))
-          | None -> ()
-      in
       match Clib.locate_ip t.clib target_ip with
       | Some (sw, _) ->
           (* The C-LIB pinpoints the owner: hand the request straight to
@@ -593,17 +625,16 @@ let relay_arp t ~origin packet =
              regroup — so this must work regardless of group equality. *)
           t.s_arp_relays <- t.s_arp_relays + 1;
           packet_out t sw packet [ Action.Flood_local ]
-      | None -> (
-          (* Unknown target: relay to every group hosting the tenant. *)
-          match Clib.tenant_of_mac t.clib eth.src with
-          | None -> ()
-          | Some tenant ->
-              let groups =
-                Clib.switches_of_tenant t.clib tenant
-                |> List.filter_map (group_of_switch t)
-                |> List.sort_uniq Ids.Group_id.compare
-              in
-              List.iter relay_to_group groups))
+      | None ->
+          relay_unknown_target t ~origin packet;
+          (* Groups configured by cluster peers can host the tenant too;
+             the hook hands the request to the coordination layer. *)
+          t.arp_relay_hook ~origin packet)
+
+let handle_remote_arp t ~origin packet =
+  (* An ARP a cluster peer could not pin down: broadcast into our groups
+     only — re-firing the hook here would echo it around the mesh. *)
+  relay_unknown_target t ~origin packet
 
 let install_forwarding t ~from ~target packet =
   let eth = Packet.eth_of packet in
@@ -679,7 +710,11 @@ let rec handle_message t ~from msg =
       | Proto.State_report { deltas; intensity; _ } ->
           request t "state_report";
           t.s_state_reports <- t.s_state_reports + 1;
-          List.iter (Clib.apply_delta t.clib) deltas;
+          List.iter
+            (fun d ->
+              Clib.apply_delta t.clib d;
+              t.clib_delta_hook d)
+            deltas;
           List.iter
             (fun (a, b, count) -> note_intensity t a b (Float.of_int count))
             intensity
@@ -713,7 +748,8 @@ let rec handle_message t ~from msg =
       | Proto.Relay { origin; boxed } -> handle_message t ~from:origin boxed
       | Proto.Lfib_advert d ->
           request t "lfib_advert";
-          Clib.apply_delta t.clib d
+          Clib.apply_delta t.clib d;
+          t.clib_delta_hook d
       | Proto.Seq { epoch; seq; payload } ->
           List.iter
             (fun m -> handle_message t ~from m)
@@ -721,7 +757,8 @@ let rec handle_message t ~from msg =
       | Proto.Ack { epoch; cum } ->
           Reliable.handle_ack (session t from) ~epoch ~cum
       | Proto.Group_config _ | Proto.Group_sync _ | Proto.Member_report _
-      | Proto.Group_arp _ | Proto.Arp_broadcast _ | Proto.Keepalive _ ->
+      | Proto.Group_arp _ | Proto.Arp_broadcast _ | Proto.Keepalive _
+      | Proto.Rehome _ ->
           ())
 
 (* --- detour routing (§III-E2) ------------------------------------------------- *)
@@ -761,11 +798,14 @@ let notify_path_failure t ~src ~dst =
 
 let echo_tick t =
   t.echo_seq <- t.echo_seq + 1;
-  for i = 0 to t.n_switches - 1 do
-    let sw = Sid.of_int i in
-    Failover.Monitor.echo_sent t.monitor sw;
-    send t sw (Message.Echo_request t.echo_seq)
-  done
+  (* Echo the monitored set, not 0..n-1: a sharded instance only owns
+     (and only registered) a subset of the fabric. Standalone, bootstrap
+     registers every switch, so the behaviour is unchanged. *)
+  List.iter
+    (fun sw ->
+      Failover.Monitor.echo_sent t.monitor sw;
+      send t sw (Message.Echo_request t.echo_seq))
+    (Failover.Monitor.registered t.monitor)
 
 let daemon_tick t =
   let period_s = Time.to_float_sec t.config.daemon_period in
@@ -802,6 +842,19 @@ let daemon_tick t =
 
 let force_regroup t = run_full_regroup t
 
+let start_timers t =
+  t.timers <-
+    [
+      Engine.every t.env.engine ~period:t.config.echo_period (fun () ->
+          echo_tick t);
+      Engine.every t.env.engine ~period:t.config.daemon_period (fun () ->
+          daemon_tick t);
+    ]
+
+let shutdown t =
+  List.iter (Engine.cancel t.env.engine) t.timers;
+  t.timers <- []
+
 let bootstrap t ~intensity =
   (* Seed the matrix with the history statistics. *)
   Wgraph.iter_edges intensity (fun a b w ->
@@ -812,9 +865,52 @@ let bootstrap t ~intensity =
     Failover.Monitor.register t.monitor (Sid.of_int i)
   done;
   t.last_update_time <- now t;
-  ignore (Engine.every t.env.engine ~period:t.config.echo_period (fun () -> echo_tick t));
-  ignore
-    (Engine.every t.env.engine ~period:t.config.daemon_period (fun () -> daemon_tick t))
+  start_timers t
+
+(* --- controller-cluster sharding ---------------------------------------------- *)
+
+let adopt_groups t ~groups =
+  List.iter
+    (fun (gid, members) ->
+      List.iter (Failover.Monitor.register t.monitor) members;
+      push_group t (make_group_config t ~gid ~members ~prev:None))
+    groups
+
+let bootstrap_shard t ~groups =
+  (* A cluster member starts with an assigned slice of the LCGs instead
+     of partitioning the fabric itself; [t.grouping] stays [None], which
+     also keeps the grouping daemon from regrouping switches it does not
+     own. Echo/daemon timers cover exactly the registered slice. *)
+  adopt_groups t ~groups;
+  t.last_update_time <- now t;
+  start_timers t
+
+let release_group t gid =
+  let members = ref [] in
+  Array.iteri
+    (fun i cfg ->
+      match cfg with
+      | Some (c : Proto.group_config) when Ids.Group_id.equal c.group gid ->
+          let sw = Sid.of_int i in
+          members := sw :: !members;
+          t.configs.(i) <- None;
+          Failover.Monitor.unregister t.monitor sw;
+          t.awaiting_recovery <- Sid.Set.remove sw t.awaiting_recovery;
+          t.last_verdicts <- Sid.Map.remove sw t.last_verdicts;
+          (* The new owner starts its own session against the switch's
+             fresh receive window; ours must not keep retransmitting into
+             it. *)
+          (match t.sessions.(i) with
+          | Some s -> Reliable.reset s
+          | None -> ())
+      | _ -> ())
+    t.configs;
+  List.rev !members
+
+let apply_remote_delta t d =
+  (* C-LIB gossip from a cluster peer: apply without re-firing the delta
+     hook, which would echo the row around the mesh forever. *)
+  Clib.apply_delta t.clib d
 
 let reliable_stats t =
   Array.fold_left

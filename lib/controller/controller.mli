@@ -121,3 +121,54 @@ val set_failover_hook :
 
 val current_intensity : t -> Wgraph.t
 (** The decayed intensity matrix the daemon currently believes. *)
+
+(** {2 Controller-cluster sharding}
+
+    A cluster member is an ordinary controller instance owning a slice of
+    the LCGs. The coordination layer ({!Lazyctrl_cluster}) assigns and
+    migrates slices; these entry points are what it drives. *)
+
+val bootstrap_shard :
+  t -> groups:(Ids.Group_id.t * Ids.Switch_id.t list) list -> unit
+(** Like {!bootstrap}, but with an externally assigned slice of groups
+    instead of running IniGroup over the whole fabric: registers exactly
+    the slice's switches in the monitor, pushes their configs, and starts
+    the echo/daemon timers over that slice. The grouping daemon stays
+    inert (no {!grouping} state), so a shard never regroups switches it
+    does not own. *)
+
+val adopt_groups :
+  t -> groups:(Ids.Group_id.t * Ids.Switch_id.t list) list -> unit
+(** Take ownership of additional groups at runtime (EASM migration or
+    failover re-homing): register the members and push fresh configs.
+    The switches themselves are claimed via {!Proto.Rehome} by the
+    coordination layer before this is called. *)
+
+val release_group : t -> Ids.Group_id.t -> Ids.Switch_id.t list
+(** Hand a group off: forget its configs and verdicts, unregister its
+    members from the monitor, reset their reliable sessions, and return
+    the member list (for the new owner to adopt). *)
+
+val shutdown : t -> unit
+(** Cancel the echo and daemon timers — a killed cluster member must go
+    silent, not keep probing switches it no longer owns. *)
+
+val apply_remote_delta : t -> Proto.lfib_delta -> unit
+(** Apply a C-LIB delta learnt from a cluster peer (without re-firing the
+    delta hook, so gossip does not echo around the mesh). *)
+
+val set_clib_delta_hook : t -> (Proto.lfib_delta -> unit) -> unit
+(** Called for every locally learnt C-LIB delta (state reports and direct
+    adverts) — the coordination layer broadcasts these to peers so every
+    member's C-LIB converges on the global view. *)
+
+val set_arp_relay_hook :
+  t -> (origin:Ids.Switch_id.t -> Packet.t -> unit) -> unit
+(** Called when an ARP relay finds no owner in the C-LIB, after
+    broadcasting into locally configured groups — the coordination layer
+    forwards the request to peers hosting the tenant's other groups. *)
+
+val handle_remote_arp : t -> origin:Ids.Switch_id.t -> Packet.t -> unit
+(** Entry point for an ARP request relayed by a cluster peer: broadcast
+    into locally configured tenant groups only (never re-fires the
+    relay hook). *)

@@ -6,16 +6,32 @@
     control link ([Controller → Sn], answered by an echo reply). The
     inference of Table I maps the observed loss pattern to the failed
     component. The {!Monitor} collects the controller-side evidence:
-    ring alarms reported by neighbours and overdue echo replies. *)
+    ring alarms reported by neighbours and overdue echo replies.
+
+    The controller-cluster layer adds a fourth stream: a second
+    controller's echo spoke to the same switch. Its evidence
+    ([peer_answering]) proves the switch alive, which lets the table
+    split a lost master echo into {!Control_link_failure} versus
+    {!Controller_failure} ([master_silent]: the master instance's own
+    coordination keep-alives stopped) instead of swallowing the pattern
+    as {!Ambiguous}. *)
 
 open Lazyctrl_net
 open Lazyctrl_sim
 
 type observation = {
-  up_lost : bool;   (** [Sn → Sn−1] keep-alives missing *)
-  down_lost : bool; (** [Sn → Sn+1] keep-alives missing *)
-  ctrl_lost : bool; (** [Controller → Sn] echo unanswered *)
+  up_lost : bool;  (** [Sn → Sn−1] keep-alives missing *)
+  down_lost : bool;  (** [Sn → Sn+1] keep-alives missing *)
+  ctrl_lost : bool;  (** [Controller → Sn] echo unanswered *)
+  peer_answering : bool;
+      (** a second controller's echo spoke to [Sn] still gets replies *)
+  master_silent : bool;
+      (** [Sn]'s master controller stopped answering coordination
+          keep-alives (cluster evidence; always false standalone) *)
 }
+
+val observation_healthy : observation
+(** All-clear: every flag false. *)
 
 type verdict =
   | Healthy
@@ -26,11 +42,15 @@ type verdict =
   | Ambiguous
       (** a pattern outside Table I (e.g. two simultaneous independent
           losses); the paper leaves these to operator escalation *)
+  | Controller_failure
+      (** the switch is alive on a second spoke but its master
+          controller instance is gone — re-home, don't reboot *)
 
 val infer : observation -> verdict
-(** Pure Table I lookup. *)
+(** Pure (extended) Table I lookup. *)
 
 val verdict_compare : verdict -> verdict -> int
+
 val verdict_equal : verdict -> verdict -> bool
 (** Dedicated comparisons — prefer these to polymorphic [=] on verdicts. *)
 
@@ -46,6 +66,9 @@ module Monitor : sig
 
   val unregister : t -> Ids.Switch_id.t -> unit
 
+  val registered : t -> Ids.Switch_id.t list
+  (** Tracked switches, sorted — the set a sharded controller echoes. *)
+
   val echo_sent : t -> Ids.Switch_id.t -> unit
   val echo_received : t -> Ids.Switch_id.t -> unit
 
@@ -55,6 +78,14 @@ module Monitor : sig
 
   val ring_recovered : t -> Ids.Switch_id.t -> unit
   (** Clear ring-loss evidence (e.g. after repair). *)
+
+  val peer_evidence : t -> Ids.Switch_id.t -> answering:bool -> unit
+  (** Cluster evidence: a backup controller's spoke to this switch is
+      (or stopped) answering. *)
+
+  val master_evidence : t -> Ids.Switch_id.t -> silent:bool -> unit
+  (** Cluster evidence: the switch's master controller went silent on
+      the coordination plane (or came back). *)
 
   val observation : t -> Ids.Switch_id.t -> observation
   val verdict : t -> Ids.Switch_id.t -> verdict

@@ -199,7 +199,11 @@ let make_lazy_plane ~params ~controller_config ~tracer ~engine ~topo ~underlay
         underlay_ip_of = (fun sw -> Topology.underlay_ip topo sw);
       }
     in
-    let sw = Edge_switch.create ~tracer env params.Params.switch_config ~self in
+    let sw =
+      Edge_switch.create ~tracer
+        ~rng:(Prng.named rng "switch-sessions")
+        env params.Params.switch_config ~self
+    in
     switches.(i) <- Some sw;
     Underlay.register underlay (Topology.underlay_ip topo self) (fun pkt ->
         Edge_switch.handle_underlay sw pkt);

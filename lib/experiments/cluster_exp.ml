@@ -1,0 +1,50 @@
+open Lazyctrl_sim
+open Lazyctrl_chaos
+open Lazyctrl_cluster
+module Table = Lazyctrl_util.Table
+module Reliable = Lazyctrl_openflow.Reliable
+
+let cfg_for ?(seed = 42) kind =
+  let base = Chaos_runner.default_config in
+  {
+    base with
+    Chaos_runner.seed;
+    loss = 0.0;
+    dup = 0.0;
+    spec =
+      { base.Chaos_runner.spec with Scenario.kinds = [ kind ]; n_faults = 1 };
+  }
+
+let table ?seed () =
+  let tbl =
+    Table.create
+      [
+        "Fault";
+        "Flows";
+        "Delivered";
+        "Adoptions";
+        "Handoffs";
+        "Involvement";
+        "Converged (s)";
+        "Dup. deliveries";
+      ]
+  in
+  List.iter
+    (fun kind ->
+      let r = Chaos_runner.run (cfg_for ?seed kind) in
+      let m = r.Chaos_runner.member_stats in
+      Table.add_row tbl
+        [
+          Fault.kind_label kind;
+          Table.cell_int r.Chaos_runner.flows_started;
+          Table.cell_int r.Chaos_runner.flows_delivered;
+          Table.cell_int m.Member.adoptions;
+          Table.cell_int m.Member.handoffs_offered;
+          Table.cell_float ~decimals:4 r.Chaos_runner.involvement;
+          (match r.Chaos_runner.converged_after with
+          | Some t -> Table.cell_float ~decimals:1 (Time.to_float_sec t)
+          | None -> "did not converge");
+          Table.cell_int r.Chaos_runner.reliability.Reliable.violations;
+        ])
+    Fault.cluster_kinds;
+  tbl

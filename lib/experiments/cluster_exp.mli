@@ -1,0 +1,14 @@
+(** Controller-cluster failover experiment.
+
+    One seeded chaos run per cluster fault kind (member kill,
+    coordination-mesh partition, switch power cycle, loss storm) against
+    a 3-member cluster, reporting what the paper's §III-E recovery story
+    looks like when the controller itself is the failing component:
+    delivery (no packet lost to a controller death), how many groups were
+    adopted and handed back, the controller-involvement ratio (laziness
+    must survive failover), convergence time after the last repair, and
+    the cluster-wide exactly-once audit. *)
+
+module Table = Lazyctrl_util.Table
+
+val table : ?seed:int -> unit -> Table.t

@@ -9,23 +9,51 @@ module Sid = Ids.Switch_id
 let inference_table () =
   let tbl =
     Table.create
-      [ "Sn->Sn-1 lost"; "Sn->Sn+1 lost"; "Ctrl->Sn lost"; "Inferred failure" ]
+      [
+        "Sn->Sn-1 lost";
+        "Sn->Sn+1 lost";
+        "Ctrl->Sn lost";
+        "2nd spoke OK";
+        "Master silent";
+        "Inferred failure";
+      ]
   in
   let b = function true -> "X" | false -> "" in
   List.iter
-    (fun (up, down, ctrl) ->
-      let v = Failover.infer { Failover.up_lost = up; down_lost = down; ctrl_lost = ctrl } in
+    (fun (up, down, ctrl, peer, master) ->
+      let v =
+        Failover.infer
+          {
+            Failover.up_lost = up;
+            down_lost = down;
+            ctrl_lost = ctrl;
+            peer_answering = peer;
+            master_silent = master;
+          }
+      in
       Table.add_row tbl
-        [ b up; b down; b ctrl; Format.asprintf "%a" Failover.pp_verdict v ])
+        [
+          b up;
+          b down;
+          b ctrl;
+          b peer;
+          b master;
+          Format.asprintf "%a" Failover.pp_verdict v;
+        ])
     [
-      (false, false, false);
-      (false, false, true);
-      (true, false, false);
-      (false, true, false);
-      (true, true, true);
-      (true, false, true);
-      (false, true, true);
-      (true, true, false);
+      (* the paper's eight single-spoke rows *)
+      (false, false, false, false, false);
+      (false, false, true, false, false);
+      (true, false, false, false, false);
+      (false, true, false, false, false);
+      (true, true, true, false, false);
+      (true, false, true, false, false);
+      (false, true, true, false, false);
+      (true, true, false, false, false);
+      (* the cluster's second spoke splits a lost master echo *)
+      (false, false, true, true, false);
+      (false, false, true, true, true);
+      (true, false, true, true, true);
     ];
   tbl
 

@@ -1,9 +1,11 @@
 open Lazyctrl_sim
+module Prng = Lazyctrl_util.Prng
 
 type config = {
   rto_initial : Time.t;
   rto_max : Time.t;
   backoff : float;
+  jitter : float;
   max_retries : int;
   max_queue : int;
 }
@@ -13,6 +15,7 @@ let default_config =
     rto_initial = Time.of_ms 200;
     rto_max = Time.of_sec 4;
     backoff = 2.0;
+    jitter = 0.1;
     max_retries = 12;
     max_queue = 512;
   }
@@ -59,6 +62,7 @@ type 'a t = {
   engine : Engine.t;
   config : config;
   tracer : Lazyctrl_trace.Tracer.t;
+  jitter_rng : Prng.t option;
   send_data : epoch:int -> seq:int -> 'a -> unit;
   send_ack : epoch:int -> cum:int -> unit;
   ep_name : string;
@@ -87,12 +91,16 @@ type 'a t = {
   mutable s_violations : int;
 }
 
-let create ?(tracer = Lazyctrl_trace.Tracer.disabled) engine config ~send_data
-    ~send_ack ~name () =
+let create ?(tracer = Lazyctrl_trace.Tracer.disabled) ?rng engine config
+    ~send_data ~send_ack ~name () =
   {
     engine;
     config;
     tracer;
+    (* A private per-session stream keyed on the session name: jitter
+       draws never perturb the caller's stream, and a session's draw
+       sequence does not depend on how many sibling sessions exist. *)
+    jitter_rng = Option.map (fun r -> Prng.named r ("rto:" ^ name)) rng;
     send_data;
     send_ack;
     ep_name = name;
@@ -135,11 +143,22 @@ let revive t =
   t.attempts <- 0;
   t.rto <- t.config.rto_initial
 
+(* The armed delay is the current RTO spread over [1-j, 1+j): seeded
+   jitter desynchronizes the retransmission herds of many sessions
+   backing off together without touching the deterministic backoff
+   schedule itself (the RTO doubling stays exact). *)
+let timeout_delay t =
+  match t.jitter_rng with
+  | Some rng when t.config.jitter > 0.0 ->
+      let j = t.config.jitter in
+      Time.scale t.rto (1.0 -. j +. Prng.float rng (2.0 *. j))
+  | _ -> t.rto
+
 let rec arm t =
   if Option.is_none t.timer && (not (Queue.is_empty t.unacked)) && not t.gave_up then
     t.timer <-
       Some
-        (Engine.schedule t.engine ~after:t.rto (fun () ->
+        (Engine.schedule t.engine ~after:(timeout_delay t) (fun () ->
              t.timer <- None;
              on_timeout t))
 

@@ -21,6 +21,10 @@ type config = {
   rto_initial : Time.t;  (** first retransmission timeout *)
   rto_max : Time.t;  (** backoff cap *)
   backoff : float;  (** multiplier applied per timeout *)
+  jitter : float;
+      (** each armed timeout is spread over [rto*(1-jitter),
+          rto*(1+jitter)) using the session's seeded stream; 0 (or a
+          session created without [rng]) disables the spread *)
   max_retries : int;  (** give up (until {!kick}/{!send}) after this many *)
   max_queue : int;  (** sender window; beyond it sends are tail-dropped *)
 }
@@ -46,6 +50,7 @@ type 'a t
 
 val create :
   ?tracer:Lazyctrl_trace.Tracer.t ->
+  ?rng:Lazyctrl_util.Prng.t ->
   Engine.t ->
   config ->
   send_data:(epoch:int -> seq:int -> 'a -> unit) ->
@@ -56,7 +61,9 @@ val create :
 (** [send_data]/[send_ack] put a numbered payload / cumulative ack on the
     wire (typically via a lossy {!Channel}); they must not raise.
     [tracer] (default disabled) records retransmits and give-ups as
-    flight-recorder events. *)
+    flight-recorder events.  [rng] seeds the retransmission-jitter
+    stream (derived by name, so the caller's stream is untouched);
+    without it timeouts fire at the exact backoff schedule. *)
 
 val name : 'a t -> string
 

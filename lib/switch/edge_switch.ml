@@ -2,6 +2,7 @@ open Lazyctrl_net
 open Lazyctrl_sim
 open Lazyctrl_openflow
 module Det = Lazyctrl_util.Det
+module Prng = Lazyctrl_util.Prng
 module Tracer = Lazyctrl_trace.Tracer
 module Tev = Lazyctrl_trace.Event
 
@@ -64,6 +65,7 @@ type t = {
   env : env;
   config : config;
   tracer : Tracer.t;
+  rng : Prng.t option; (* parent stream for reliable-session jitter *)
   self : Ids.Switch_id.t;
   lfib : Lfib.t;
   gfib : Gfib.t;
@@ -74,6 +76,7 @@ type t = {
   mutable group : Proto.group_config option;
   mutable ring : (Ids.Switch_id.t * Ids.Switch_id.t) option; (* up, down *)
   mutable relay_via : Ids.Switch_id.t option;
+  mutable master_term : int; (* highest accepted Rehome term *)
   mutable timers : Engine.event_id list;
   mutable last_seen_up : Time.t;   (* last keep-alive from upstream *)
   mutable last_seen_down : Time.t; (* last keep-alive from downstream *)
@@ -104,11 +107,12 @@ type t = {
   mutable s_miss_replayed : int;
 }
 
-let create ?(tracer = Tracer.disabled) env config ~self =
+let create ?(tracer = Tracer.disabled) ?rng env config ~self =
   {
     env;
     config;
     tracer;
+    rng;
     self;
     lfib = Lfib.create ();
     gfib =
@@ -122,6 +126,7 @@ let create ?(tracer = Tracer.disabled) env config ~self =
     group = None;
     ring = None;
     relay_via = None;
+    master_term = 0;
     timers = [];
     last_seen_up = Time.zero;
     last_seen_down = Time.zero;
@@ -203,7 +208,7 @@ let ctrl_session t =
   | Some s -> s
   | None ->
       let s =
-        Reliable.create ~tracer:t.tracer t.env.engine t.config.retrans
+        Reliable.create ~tracer:t.tracer ?rng:t.rng t.env.engine t.config.retrans
           ~send_data:(fun ~epoch ~seq payload ->
             send_controller t (Message.Extension (Proto.Seq { epoch; seq; payload })))
           ~send_ack:(fun ~epoch ~cum ->
@@ -220,7 +225,7 @@ let peer_session t sid =
   | Some s -> s
   | None ->
       let s =
-        Reliable.create ~tracer:t.tracer t.env.engine t.config.retrans
+        Reliable.create ~tracer:t.tracer ?rng:t.rng t.env.engine t.config.retrans
           ~send_data:(fun ~epoch ~seq payload ->
             t.env.send_peer sid
               (Message.Extension (Proto.Seq { epoch; seq; payload })))
@@ -690,6 +695,38 @@ let adopt_group t (c : Proto.group_config) =
 
 (* --- message handling ------------------------------------------------------ *)
 
+(* A new master controller claimed us (EASM migration or failover
+   re-homing).  Strictly newer terms only: a stale master's
+   retransmitted claim must not yank the session back.  The old reliable
+   session cannot continue against the new master's fresh receive
+   window, so bump our epoch, then re-sync toward the new owner: Hello
+   (so it re-pushes our group config), a full advert (healing its C-LIB
+   row), and the buffered misses drain to the new owner — this is what
+   makes the master handoff lose no packets. *)
+let rehome t ~term =
+  if term > t.master_term then begin
+    t.master_term <- term;
+    (match t.ctrl_session with Some s -> Reliable.reset s | None -> ());
+    t.ctrl_suspect <- false;
+    ignore (raw_send_controller t Message.Hello);
+    ignore (Lfib.take_pending t.lfib);
+    send_state_ctrl t
+      (Message.Extension
+         (Proto.Lfib_advert
+            {
+              Proto.origin = t.self;
+              added = Lfib.all_keys t.lfib;
+              removed = [];
+              full = true;
+            }));
+    let n = Queue.length t.miss_buffer in
+    for _ = 1 to n do
+      let packet, reason = Queue.pop t.miss_buffer in
+      t.s_miss_replayed <- t.s_miss_replayed + 1;
+      send_controller t (Message.Packet_in { packet; reason })
+    done
+  end
+
 let handle_extension_from_controller t = function
   | Proto.Group_config c -> adopt_group t c
   | Proto.Group_sync { lfibs } ->
@@ -709,6 +746,7 @@ let handle_extension_from_controller t = function
         (group_members_except t [ t.self ]);
       ignore (try_answer_arp t packet)
   | Proto.Lfib_advert d -> apply_advert_to_gfib t d
+  | Proto.Rehome { term; master = _ } -> rehome t ~term
   | Proto.Group_arp _ | Proto.Member_report _ | Proto.State_report _
   | Proto.Arp_escalate _ | Proto.False_positive _ | Proto.Keepalive _
   | Proto.Ring_alarm _ | Proto.Relay _ ->
@@ -798,7 +836,8 @@ let rec handle_peer_message t ~from msg =
             (* We are the healthy neighbour: forward on our control link. *)
             ignore (t.env.send_controller (Message.Extension relayed))
         | Proto.Group_config _ | Proto.Group_sync _ | Proto.State_report _
-        | Proto.Arp_escalate _ | Proto.False_positive _ | Proto.Ring_alarm _ ->
+        | Proto.Arp_escalate _ | Proto.False_positive _ | Proto.Ring_alarm _
+        | Proto.Rehome _ ->
             ())
     | Message.Hello | Message.Echo_request _ | Message.Echo_reply _
     | Message.Packet_in _ | Message.Packet_out _ | Message.Flow_mod _ ->
@@ -820,6 +859,7 @@ let set_up t up =
     (* Reliable sessions do not survive a reboot: bump epochs so peers
        treat our post-reboot seq 0 as a new stream, not a stale dup. *)
     t.ctrl_suspect <- false;
+    t.master_term <- 0;
     Queue.clear t.miss_buffer;
     (match t.ctrl_session with Some s -> Reliable.reset s | None -> ());
     Det.iter_sorted ~cmp:Int.compare
@@ -863,6 +903,7 @@ let stats t =
 
 let control_link_suspect t = t.ctrl_suspect
 let misses_pending t = Queue.length t.miss_buffer
+let master_term t = t.master_term
 
 let reliable_stats t =
   let acc =

@@ -68,11 +68,18 @@ type stats = {
 type t
 
 val create :
-  ?tracer:Lazyctrl_trace.Tracer.t -> env -> config -> self:Ids.Switch_id.t -> t
+  ?tracer:Lazyctrl_trace.Tracer.t ->
+  ?rng:Lazyctrl_util.Prng.t ->
+  env ->
+  config ->
+  self:Ids.Switch_id.t ->
+  t
 (** [tracer] (default disabled) receives a flight-recorder event at every
     datapath decision point: ingress, flow-table/L-FIB hits, G-FIB
     probes, Bloom false positives, ARP resolution, designated-switch
-    relays, and punts. *)
+    relays, and punts.  [rng] seeds retransmission jitter in the
+    switch's reliable sessions (each session derives its own named
+    sub-stream; the parent is never advanced). *)
 
 val self : t -> Ids.Switch_id.t
 
@@ -113,6 +120,14 @@ val control_link_suspect : t -> bool
 
 val misses_pending : t -> int
 (** Inter-group misses currently buffered awaiting reconnect. *)
+
+val master_term : t -> int
+(** Highest {!Proto.Rehome} term accepted so far (0 before any claim, and
+    again after a reboot — mastership is re-established by the cluster).
+    A claim is accepted only when its term is strictly greater; accepting
+    resets the control session, announces the switch to the new master
+    (Hello → config re-push), heals the master's C-LIB row with a full
+    advert and drains the buffered misses to the new owner. *)
 
 val reliable_stats : t -> Reliable.stats
 (** Aggregate over the controller session and all peer sessions. *)

@@ -62,6 +62,11 @@ type t =
       missing : Ids.Switch_id.t;
       direction : [ `Up | `Down ];
     }
+  | Rehome of { term : int; master : int }
+      (* a controller-cluster member claims mastership of this switch;
+         [term] totally orders claims (strictly greater wins, so a stale
+         master's retransmitted claim can never yank the switch back) and
+         [master] names the claiming member instance *)
   | Relay of { origin : Ids.Switch_id.t; boxed : t Message.t }
   | Seq of { epoch : int; seq : int; payload : t Message.t }
   | Ack of { epoch : int; cum : int }
@@ -90,6 +95,7 @@ let rec size_estimate = function
   | False_positive _ -> 16
   | Keepalive _ -> 10
   | Ring_alarm _ -> 16
+  | Rehome _ -> 12
   | Relay { boxed; _ } -> 8 + Message.size_estimate size_estimate boxed
   | Seq { payload; _ } -> 12 + Message.size_estimate size_estimate payload
   | Ack _ -> 12
@@ -121,6 +127,7 @@ let rec pp fmt = function
       Format.fprintf fmt "ring_alarm(%a misses %a,%s)" Ids.Switch_id.pp observer
         Ids.Switch_id.pp missing
         (match direction with `Up -> "up" | `Down -> "down")
+  | Rehome { term; master } -> Format.fprintf fmt "rehome(t%d,c%d)" term master
   | Relay { origin; boxed } ->
       Format.fprintf fmt "relay(%a,%a)" Ids.Switch_id.pp origin (Message.pp pp) boxed
   | Seq { epoch; seq; payload } ->

@@ -83,6 +83,15 @@ type t =
               to its ring predecessor [observer]); [`Down]: downstream *)
     }
       (** switch → controller: a wheel keep-alive went missing *)
+  | Rehome of { term : int; master : int }
+      (** controller-cluster member → switch: claim mastership.  [term]
+          totally orders claims — a switch accepts a strictly greater term
+          only, so a stale master's retransmitted claim can never yank it
+          back — and [master] names the claiming member instance.  On
+          acceptance the switch resets its control session, announces
+          itself to the new master (Hello → config re-push), heals the
+          master's C-LIB row with a full advert and drains buffered
+          misses, so the handoff loses no packets. *)
   | Relay of { origin : Ids.Switch_id.t; boxed : t Lazyctrl_openflow.Message.t }
       (** a whole control-link message forwarded through a ring neighbour
           during control-link failover (§III-E2) *)

@@ -84,9 +84,10 @@ let test_clib_tenants () =
 
 let verdict_t = Alcotest.testable Failover.pp_verdict Failover.verdict_equal
 
-(* All 2^3 observation patterns with the exact Table I verdict, including
-   the three combinations the paper's table leaves unlabelled (Ambiguous).
-   Columns: keep-alive lost upstream, lost downstream, echo lost. *)
+(* All 2^3 single-spoke observation patterns with the exact Table I
+   verdict, including the three combinations the paper's table leaves
+   unlabelled (Ambiguous).  Columns: keep-alive lost upstream, lost
+   downstream, echo lost. *)
 let table1 =
   [
     (false, false, false, Failover.Healthy);
@@ -99,6 +100,15 @@ let table1 =
     (false, true, true, Failover.Ambiguous);
   ]
 
+let obs ?(peer = false) ?(master = false) up_lost down_lost ctrl_lost =
+  {
+    Failover.up_lost;
+    down_lost;
+    ctrl_lost;
+    peer_answering = peer;
+    master_silent = master;
+  }
+
 let test_infer_table1 () =
   check Alcotest.int "all 8 patterns covered" 8
     (List.length (List.sort_uniq compare (List.map (fun (u, d, c, _) -> (u, d, c)) table1)));
@@ -108,8 +118,57 @@ let test_infer_table1 () =
         Printf.sprintf "up_lost=%b down_lost=%b ctrl_lost=%b" up_lost down_lost ctrl_lost
       in
       check verdict_t label expected
-        (Failover.infer { Failover.up_lost; down_lost; ctrl_lost }))
+        (Failover.infer (obs up_lost down_lost ctrl_lost)))
     table1
+
+(* The cluster extension, exhaustive over the two new axes: a second
+   controller spoke still answering (peer_answering) splits a lost
+   master echo into controller-death vs control-link-death — including
+   the patterns the single-spoke table could only call Ambiguous (or,
+   for the triple loss, Switch_failure) — while every observation
+   without that evidence reduces to the 3-bit table above. *)
+let test_infer_second_spoke () =
+  let bools = [ false; true ] in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun c ->
+              List.iter
+                (fun p ->
+                  List.iter
+                    (fun m ->
+                      let base =
+                        List.find_map
+                          (fun (u', d', c', v) ->
+                            if u = u' && d = d' && c = c' then Some v else None)
+                          table1
+                        |> Option.get
+                      in
+                      let expected =
+                        if p && c then
+                          if m then Failover.Controller_failure
+                          else Failover.Control_link_failure
+                        else base
+                      in
+                      let label =
+                        Printf.sprintf "u=%b d=%b c=%b peer=%b master=%b" u d
+                          c p m
+                      in
+                      check verdict_t label expected
+                        (Failover.infer (obs ~peer:p ~master:m u d c)))
+                    bools)
+                bools)
+            bools)
+        bools)
+    bools;
+  (* The headline case the extension exists for: echo lost, switch
+     provably alive, master silent on the coordination plane. *)
+  check verdict_t "my controller died" Failover.Controller_failure
+    (Failover.infer (obs ~peer:true ~master:true false false true));
+  check verdict_t "only the control link died" Failover.Control_link_failure
+    (Failover.infer (obs ~peer:true ~master:false true false true))
 
 let test_monitor_echo_timeout () =
   let e = Engine.create () in
@@ -142,6 +201,80 @@ let test_monitor_ring_alarms () =
   check Alcotest.int "sweep clean" 0 (List.length (Failover.Monitor.sweep m));
   (* Alarms about unregistered switches are ignored. *)
   Failover.Monitor.ring_alarm m ~missing:(sid 9) ~direction:`Up
+
+(* A switch migrating between controllers is unregistered at the old
+   master and registered at the new one. An echo pending from before the
+   migration must not leak into the new registration, or every migration
+   under load would read as a control-link failure. *)
+let test_monitor_pending_across_migration () =
+  let e = Engine.create () in
+  let m = Failover.Monitor.create e ~echo_timeout:(Time.of_sec 10) in
+  Failover.Monitor.register m (sid 1);
+  Failover.Monitor.echo_sent m (sid 1);
+  ignore (Engine.schedule e ~after:(Time.of_sec 6) (fun () -> ()));
+  Engine.run e;
+  Failover.Monitor.unregister m (sid 1);
+  check Alcotest.bool "untracked while migrated" false
+    (List.exists (Ids.Switch_id.equal (sid 1)) (Failover.Monitor.registered m));
+  Failover.Monitor.register m (sid 1);
+  ignore (Engine.schedule e ~after:(Time.of_sec 6) (fun () -> ()));
+  Engine.run e;
+  (* 12 s after the pre-migration echo: a leaked pending echo would have
+     timed out by now. *)
+  check verdict_t "fresh after migration" Failover.Healthy
+    (Failover.Monitor.verdict m (sid 1));
+  Failover.Monitor.echo_sent m (sid 1);
+  ignore (Engine.schedule e ~after:(Time.of_sec 11) (fun () -> ()));
+  Engine.run e;
+  check verdict_t "new echo cycle still times out" Failover.Control_link_failure
+    (Failover.Monitor.verdict m (sid 1))
+
+(* The timeout is strict: a reply that would arrive exactly at
+   [echo_timeout] is still on time, one tick later it is lost. And a
+   re-sent echo while one is already pending must not restart the window
+   (that would let a periodic echo timer mask a dead link forever). *)
+let test_monitor_loss_exactly_at_timeout () =
+  let e = Engine.create () in
+  let m = Failover.Monitor.create e ~echo_timeout:(Time.of_sec 10) in
+  Failover.Monitor.register m (sid 1);
+  Failover.Monitor.echo_sent m (sid 1);
+  ignore (Engine.schedule e ~after:(Time.of_sec 10) (fun () -> ()));
+  Engine.run e;
+  check verdict_t "exactly at the timeout is not yet lost" Failover.Healthy
+    (Failover.Monitor.verdict m (sid 1));
+  Failover.Monitor.echo_sent m (sid 1);
+  ignore (Engine.schedule e ~after:(Time.of_us 1) (fun () -> ()));
+  Engine.run e;
+  check verdict_t "one tick past the timeout is" Failover.Control_link_failure
+    (Failover.Monitor.verdict m (sid 1));
+  Failover.Monitor.echo_received m (sid 1);
+  check verdict_t "a reply clears it" Failover.Healthy
+    (Failover.Monitor.verdict m (sid 1))
+
+(* Evidence streams race in practice (ring alarms, peer-spoke replies and
+   coordination silence arrive over independent channels); the verdict
+   must depend on the evidence set, never on arrival order. *)
+let test_monitor_verdict_order_independent () =
+  let apply m sw = function
+    | 0 -> Failover.Monitor.echo_sent m sw
+    | 1 -> Failover.Monitor.peer_evidence m sw ~answering:true
+    | _ -> Failover.Monitor.master_evidence m sw ~silent:true
+  in
+  let orders =
+    [ [ 0; 1; 2 ]; [ 0; 2; 1 ]; [ 1; 0; 2 ]; [ 1; 2; 0 ]; [ 2; 0; 1 ]; [ 2; 1; 0 ] ]
+  in
+  List.iter
+    (fun order ->
+      let e = Engine.create () in
+      let m = Failover.Monitor.create e ~echo_timeout:(Time.of_sec 10) in
+      Failover.Monitor.register m (sid 1);
+      List.iter (apply m (sid 1)) order;
+      ignore (Engine.schedule e ~after:(Time.of_sec 11) (fun () -> ()));
+      Engine.run e;
+      check Alcotest.bool "same verdict for every arrival order" true
+        (Failover.verdict_equal Failover.Controller_failure
+           (Failover.Monitor.verdict m (sid 1))))
+    orders
 
 (* --- Controller ------------------------------------------------------------------ *)
 
@@ -437,8 +570,16 @@ let () =
       ( "failover",
         [
           Alcotest.test_case "Table I exhaustive" `Quick test_infer_table1;
+          Alcotest.test_case "second spoke splits lost echo" `Quick
+            test_infer_second_spoke;
           Alcotest.test_case "echo timeout" `Quick test_monitor_echo_timeout;
           Alcotest.test_case "ring alarms" `Quick test_monitor_ring_alarms;
+          Alcotest.test_case "pending echo across migration" `Quick
+            test_monitor_pending_across_migration;
+          Alcotest.test_case "loss exactly at echo_timeout" `Quick
+            test_monitor_loss_exactly_at_timeout;
+          Alcotest.test_case "verdict order-independence" `Quick
+            test_monitor_verdict_order_independent;
         ] );
       ( "controller",
         [

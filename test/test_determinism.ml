@@ -148,6 +148,25 @@ let test_chaos_double_run () =
     "different seed, different chaos fingerprint" false
     (String.equal r1.Runner.fingerprint r3.Runner.fingerprint)
 
+(* The same property over the controller cluster: member kills and
+   partitions, mastership-term arbitration, coordination sessions and
+   orphan adoption all replay byte-identically from the seed. *)
+let test_cluster_chaos_double_run () =
+  let module CR = Lazyctrl_cluster.Chaos_runner in
+  let cfg = { CR.default_config with CR.seed = 7 } in
+  let r1 = CR.run cfg in
+  let r2 = CR.run cfg in
+  Alcotest.(check string)
+    "same seed, byte-identical cluster fingerprint" r1.CR.fingerprint
+    r2.CR.fingerprint;
+  Alcotest.(check bool)
+    "cluster fingerprint non-empty" true
+    (String.length r1.CR.fingerprint > 200);
+  let r3 = CR.run { cfg with CR.seed = 8 } in
+  Alcotest.(check bool)
+    "different seed, different cluster fingerprint" false
+    (String.equal r1.CR.fingerprint r3.CR.fingerprint)
+
 (* Tracing determinism: two flight-recorded runs of the same seeded
    daylong slice must serialize to byte-identical JSONL (and Chrome)
    exports.  Trace files are diffable artifacts, so this is stricter
@@ -179,6 +198,8 @@ let () =
           Alcotest.test_case "same seed twice" `Slow test_double_run;
           Alcotest.test_case "seed sensitivity" `Slow test_seed_sensitivity;
           Alcotest.test_case "chaos scenario twice" `Slow test_chaos_double_run;
+          Alcotest.test_case "cluster chaos twice" `Slow
+            test_cluster_chaos_double_run;
           Alcotest.test_case "traced daylong slice twice" `Slow
             test_traced_daylong_double_run;
         ] );

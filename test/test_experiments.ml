@@ -18,8 +18,9 @@ let test_storage () =
   check Alcotest.bool "renders" true (lines (E.Storage_exp.table ()) >= 7)
 
 let test_failover_tables () =
-  (* 8 inference rows + header + rule. *)
-  check Alcotest.int "inference table" 10 (lines (E.Failover_exp.inference_table ()));
+  (* Table I's 8 inference rows, plus the 3 second-spoke controller-failure
+     rows, plus header + rule. *)
+  check Alcotest.int "inference table" 13 (lines (E.Failover_exp.inference_table ()));
   let tbl = E.Failover_exp.endtoend_table () in
   let rendered = Table.render tbl in
   check Alcotest.int "four scenarios" 6 (lines tbl);

@@ -163,8 +163,12 @@ let token_tests =
 
 let good_infer =
   "type verdict = Healthy | Control_link_failure | Peer_link_up_failure\n\
-   | Peer_link_down_failure | Switch_failure | Ambiguous\n\
+   | Peer_link_down_failure | Switch_failure | Ambiguous | Controller_failure\n\
    let infer = function\n\
+   | { peer_answering = true; ctrl_lost = true; master_silent = true } -> \
+   Controller_failure\n\
+   | { peer_answering = true; ctrl_lost = true; master_silent = false } -> \
+   Control_link_failure\n\
    | { up_lost = false; down_lost = false; ctrl_lost = false } -> Healthy\n\
    | { up_lost = false; down_lost = false; ctrl_lost = true } -> \
    Control_link_failure\n\
