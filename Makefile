@@ -1,4 +1,4 @@
-.PHONY: all build test lint lint-check lint-json lint-sarif lint-ownership lint-hotpath bench bench-json bench-check chaos chaos-cluster clean
+.PHONY: all build test lint lint-check lint-json lint-sarif lint-ownership lint-hotpath bench bench-json bench-check shard-check chaos chaos-cluster clean
 
 all: build
 
@@ -70,6 +70,15 @@ bench-json:
 # when any target loses more than 15% ops/sec or disappears.
 bench-check: bench-json
 	./_build/default/bench/main.exe compare BENCH_baseline.json BENCH_lazyctrl.json
+
+# Domain-parallel determinism gate: the sharded engine must produce
+# byte-identical fingerprints double-run and across domain counts
+# (the local mirror of the CI multicore matrix).
+shard-check:
+	dune build bin/lazyctrl_cli.exe
+	./_build/default/bin/lazyctrl_cli.exe shard-check --domains 1
+	./_build/default/bin/lazyctrl_cli.exe shard-check --domains 2
+	./_build/default/bin/lazyctrl_cli.exe shard-check --domains 4
 
 # Seeded chaos scenario + the loss-rate sweep (robustness regression).
 chaos:

@@ -202,6 +202,37 @@ let default =
         (* Per-domain simulator state: each shard owns an engine, its
            switches' FIBs, and the PRNG streams it draws from. *)
         { path = "lib/sim/"; cls = Shard_local; why = None };
+        (* The domain-parallel engine's own crossing surface: the pool
+           hands thunks across domains, the exchange carries events
+           between shards, and the window coordinator owns the barrier. *)
+        {
+          path = "lib/sim/domain_pool.ml";
+          cls = Shard_crossing;
+          why =
+            Some
+              "the pool's mutex/condvar job handoff is the only blessed \
+               cross-domain control transfer; thunks run on exactly one \
+               worker and results join at the barrier";
+        };
+        {
+          path = "lib/sim/exchange.ml";
+          cls = Shard_crossing;
+          why =
+            Some
+              "per-source outboxes are written only by the owning shard \
+               inside its window and drained single-threaded at the \
+               barrier in (time, src, seq) order — the deterministic \
+               hand-off point between shards";
+        };
+        {
+          path = "lib/sim/shard_engine.ml";
+          cls = Shard_crossing;
+          why =
+            Some
+              "the conservative window coordinator: it owns the barrier, \
+               enforces the cross-shard latency bound on every post, and \
+               is the only code that touches two shards' engines";
+        };
         { path = "lib/switch/"; cls = Shard_local; why = None };
         { path = "lib/controller/"; cls = Shard_local; why = None };
         { path = "lib/baseline/"; cls = Shard_local; why = None };
@@ -242,8 +273,18 @@ let default =
           why =
             Some
               "the wiring layer constructs every shard and owns the \
-               channels between them; under sharding it becomes the \
-               cross-domain event exchange";
+               channels between them; its domain-parallel counterpart is \
+               Shard_net over the event exchange";
+        };
+        {
+          path = "lib/core/shard_net.ml";
+          cls = Shard_crossing;
+          why =
+            Some
+              "the domain-parallel wiring: it builds every logical shard's \
+               engine/switches/host models, and every control, peer, \
+               underlay and receipt interaction between them is an \
+               explicit exchange post carrying its link latency";
         };
         (* The controller cluster: each member's coordination state is
            pinned to its own controller domain; the plane and the Coord
@@ -340,9 +381,26 @@ let default =
           e_shard = "of-controller";
           e_phase = Run;
         };
+        (* The window coordinator's run loop: drains the exchange and
+           drives every shard's engine through the current window. *)
+        {
+          e_id = "Lazyctrl_sim.Shard_engine.run";
+          e_shard = "exchange";
+          e_phase = Run;
+        };
         (* Setup surface, for the init/run distinction and the report. *)
         {
           e_id = "Lazyctrl_core.Network.create";
+          e_shard = "setup";
+          e_phase = Init;
+        };
+        {
+          e_id = "Lazyctrl_core.Shard_net.create";
+          e_shard = "setup";
+          e_phase = Init;
+        };
+        {
+          e_id = "Lazyctrl_core.Shard_net.bootstrap";
           e_shard = "setup";
           e_phase = Init;
         };

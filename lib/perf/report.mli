@@ -1,28 +1,52 @@
 (** Schema-versioned serialization of bench results
     ([BENCH_lazyctrl.json]).
 
-    Schema v1:
+    Schema v3:
     {v
-    { "schema_version": 1,
+    { "schema_version": 3,
       "suite": "lazyctrl-bench",
+      "host_cores": 4,
       "benchmarks": [
         { "name": "engine-event",
           "ops_per_sec": 1.0e7,
           "ns_per_op": 100.0,
           "alloc_bytes_per_op": 0.0,
-          "events_fired": 400000 } ] }
+          "minor_words_per_op": 0.0,
+          "events_fired": 400000,
+          "domains": 1 },
+        { "name": "packet-replay-d4",
+          "...": "...",
+          "domains": 4,
+          "scaling_efficiency": 0.71 } ] }
     v}
+
+    [host_cores] records the machine the run happened on so the
+    scaling gate ({!Compare}) can tell a parallelism regression from a
+    core-starved runner.  [scaling_efficiency] appears only on
+    multi-domain targets.
 
     Readers reject unknown versions rather than best-effort parsing
     them — the compare gate must never pass on misread numbers. *)
 
 val schema_version : int
 
-val to_string : Measure.result list -> string
+type doc = { host_cores : int; results : Measure.result list }
+
+val detected_host_cores : unit -> int
+(** [Domain.recommended_domain_count ()] — what {!save} stamps into
+    the report when the caller does not override it. *)
+
+val to_string : ?host_cores:int -> Measure.result list -> string
+(** [host_cores] defaults to [Domain.recommended_domain_count ()]. *)
 
 val of_string : string -> (Measure.result list, string) result
+
+val doc_of_string : string -> (doc, string) result
+(** Like {!of_string} but keeps the top-level [host_cores]. *)
 
 val load : string -> (Measure.result list, string) result
 (** Read and decode a report file; [Error] includes the path. *)
 
-val save : string -> Measure.result list -> unit
+val load_doc : string -> (doc, string) result
+
+val save : ?host_cores:int -> string -> Measure.result list -> unit

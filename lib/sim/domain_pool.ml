@@ -1,0 +1,150 @@
+(* Persistent pool of worker domains for the sharded engine.
+
+   [Shard_engine] runs one synchronization window per barrier round, so
+   spawning a domain per window would dominate the cost of small windows.
+   Instead the pool spawns its workers once and parks them on a condition
+   variable; each [run_all] hands every worker a contiguous chunk of the
+   thunk array, runs the last chunk on the calling domain, and waits for
+   the workers to go idle again.  The mutex acquire/release pairs on both
+   sides of a job give the happens-before edges that publish the main
+   domain's writes (engine state, exchange mailboxes, window horizon) to
+   the worker and the worker's writes back to main — no atomics are
+   needed beyond the locks.
+
+   Determinism note: the pool never influences *what* runs, only *where*.
+   Chunk assignment is a pure function of (lane count, thunk count), and
+   thunks touch only shard-local state, so results are independent of
+   physical scheduling. *)
+
+type worker = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable idle : bool;
+  mutable stop : bool;
+  mutable failed : exn option;
+}
+
+type t = {
+  lanes : int; (* total execution lanes, including the calling domain *)
+  workers : worker array; (* length [lanes - 1] *)
+  mutable handles : unit Domain.t array;
+  mutable closed : bool;
+}
+
+let worker_loop w =
+  let running = ref true in
+  while !running do
+    Mutex.lock w.m;
+    while Option.is_none w.job && not w.stop do
+      Condition.wait w.cv w.m
+    done;
+    match w.job with
+    | None ->
+        (* stop requested with no job pending *)
+        Mutex.unlock w.m;
+        running := false
+    | Some job ->
+        Mutex.unlock w.m;
+        let failure = try job (); None with e -> Some e in
+        Mutex.lock w.m;
+        w.failed <- failure;
+        w.job <- None;
+        w.idle <- true;
+        Condition.signal w.cv;
+        Mutex.unlock w.m
+  done
+
+let create ~lanes =
+  let lanes = max 1 lanes in
+  let workers =
+    Array.init (lanes - 1) (fun _ ->
+        {
+          m = Mutex.create ();
+          cv = Condition.create ();
+          job = None;
+          idle = true;
+          stop = false;
+          failed = None;
+        })
+  in
+  let handles = Array.map (fun w -> Domain.spawn (fun () -> worker_loop w)) workers in
+  { lanes; workers; handles; closed = false }
+
+let lanes t = t.lanes
+
+let assign w job =
+  Mutex.lock w.m;
+  w.job <- Some job;
+  w.idle <- false;
+  Condition.signal w.cv;
+  Mutex.unlock w.m
+
+let wait_idle w =
+  Mutex.lock w.m;
+  while not w.idle do
+    Condition.wait w.cv w.m
+  done;
+  Mutex.unlock w.m
+
+(* Contiguous chunking: lane [l] of [lanes] gets thunk indices
+   [l*n/lanes, (l+1)*n/lanes).  Pure in (lanes, n), so the same thunks
+   always land on the same lanes. *)
+let run_chunk thunks ~n ~lanes ~lane =
+  let lo = lane * n / lanes and hi = (lane + 1) * n / lanes in
+  for i = lo to hi - 1 do
+    thunks.(i) ()
+  done
+
+let run_all t thunks =
+  let n = Array.length thunks in
+  if n = 0 then ()
+  else if t.lanes = 1 || n = 1 then
+    for i = 0 to n - 1 do
+      thunks.(i) ()
+    done
+  else begin
+    if t.closed then invalid_arg "Domain_pool.run_all: pool is shut down";
+    let lanes = min t.lanes n in
+    for lane = 0 to lanes - 2 do
+      assign t.workers.(lane) (fun () -> run_chunk thunks ~n ~lanes ~lane)
+    done;
+    (* The calling domain takes the last chunk; its exception (if any) is
+       re-raised only after every worker is idle again, so no job is ever
+       left running across the barrier. *)
+    let main_failure =
+      try
+        run_chunk thunks ~n ~lanes ~lane:(lanes - 1);
+        None
+      with e -> Some e
+    in
+    for lane = 0 to lanes - 2 do
+      wait_idle t.workers.(lane)
+    done;
+    let first_failure = ref None in
+    for lane = lanes - 2 downto 0 do
+      let w = t.workers.(lane) in
+      match w.failed with
+      | None -> ()
+      | Some e ->
+          w.failed <- None;
+          first_failure := Some e
+    done;
+    (match !first_failure with
+    | Some e -> raise e
+    | None -> ( match main_failure with Some e -> raise e | None -> ()))
+  end
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.m;
+        w.stop <- true;
+        Condition.signal w.cv;
+        Mutex.unlock w.m)
+      t.workers;
+    Array.iter Domain.join t.handles;
+    t.handles <- [||]
+  end

@@ -1,0 +1,155 @@
+(* Cross-shard event mailboxes for the sharded engine.
+
+   One outbox per source shard, following the PR-4 flat-heap idiom:
+   parallel int arrays for (arrival ns, destination, sequence) plus a
+   closure array for the deferred action, so posting allocates nothing
+   beyond the caller's closure.  During a window only shard [s]'s domain
+   appends to outbox [s] (single-writer), and the window barrier
+   publishes the appends before [drain] reads them on the coordinating
+   domain.
+
+   [drain] delivers all posted messages in ascending (time, src, seq)
+   order — the total order that makes the merge independent of how many
+   physical domains produced the messages.  [seq] is a per-source
+   monotonic post counter, so within one source it is exactly the
+   deterministic execution order of that shard's engine. *)
+
+let nop () = ()
+
+type outbox = {
+  mutable time : int array; (* arrival, ns *)
+  mutable dst : int array;
+  mutable seq : int array;
+  mutable act : (unit -> unit) array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+type t = {
+  shards : int;
+  boxes : outbox array;
+  pair_counts : int array array; (* [src].[dst], row written only by src *)
+  (* Reusable drain scratch (coordinator-only). *)
+  mutable g_time : int array;
+  mutable g_src : int array;
+  mutable g_seq : int array;
+  mutable g_act : (unit -> unit) array;
+  mutable g_dst : int array;
+  mutable order : int array;
+  mutable messages : int;
+  mutable max_batch : int;
+}
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Exchange.create: shards < 1";
+  let box () =
+    {
+      time = Array.make 16 0;
+      dst = Array.make 16 0;
+      seq = Array.make 16 0;
+      act = Array.make 16 nop;
+      len = 0;
+      next_seq = 0;
+    }
+  in
+  {
+    shards;
+    boxes = Array.init shards (fun _ -> box ());
+    pair_counts = Array.init shards (fun _ -> Array.make shards 0);
+    g_time = [||];
+    g_src = [||];
+    g_seq = [||];
+    g_act = [||];
+    g_dst = [||];
+    order = [||];
+    messages = 0;
+    max_batch = 0;
+  }
+
+let shards t = t.shards
+
+let grow_box b =
+  let cap = Array.length b.time in
+  let ncap = 2 * cap in
+  let gi a = let n = Array.make ncap 0 in Array.blit a 0 n 0 cap; n in
+  b.time <- gi b.time;
+  b.dst <- gi b.dst;
+  b.seq <- gi b.seq;
+  let na = Array.make ncap nop in
+  Array.blit b.act 0 na 0 cap;
+  b.act <- na
+
+let post t ~src ~dst ~time_ns f =
+  let b = t.boxes.(src) in
+  if b.len = Array.length b.time then grow_box b;
+  let i = b.len in
+  b.time.(i) <- time_ns;
+  b.dst.(i) <- dst;
+  b.seq.(i) <- b.next_seq;
+  b.act.(i) <- f;
+  b.next_seq <- b.next_seq + 1;
+  b.len <- i + 1;
+  t.pair_counts.(src).(dst) <- t.pair_counts.(src).(dst) + 1
+
+let pending t =
+  let p = ref 0 in
+  for s = 0 to t.shards - 1 do
+    p := !p + t.boxes.(s).len
+  done;
+  !p
+
+let ensure_scratch t n =
+  if Array.length t.order < n then begin
+    let cap = max 16 (max n (2 * Array.length t.order)) in
+    t.g_time <- Array.make cap 0;
+    t.g_src <- Array.make cap 0;
+    t.g_seq <- Array.make cap 0;
+    t.g_dst <- Array.make cap 0;
+    t.g_act <- Array.make cap nop;
+    t.order <- Array.make cap 0
+  end
+
+let drain t ~into =
+  let n = pending t in
+  if n > 0 then begin
+    ensure_scratch t n;
+    let k = ref 0 in
+    for s = 0 to t.shards - 1 do
+      let b = t.boxes.(s) in
+      for i = 0 to b.len - 1 do
+        let g = !k in
+        t.g_time.(g) <- b.time.(i);
+        t.g_src.(g) <- s;
+        t.g_seq.(g) <- b.seq.(i);
+        t.g_dst.(g) <- b.dst.(i);
+        t.g_act.(g) <- b.act.(i);
+        t.order.(g) <- g;
+        b.act.(i) <- nop;
+        incr k
+      done;
+      b.len <- 0
+    done;
+    (* Total order (time, src, seq): time first so the destination engine
+       sees arrivals in causal order; src then seq break same-instant
+       ties identically at every domain count. *)
+    let sub = Array.sub t.order 0 n in
+    Array.sort
+      (fun a b ->
+        let c = Int.compare t.g_time.(a) t.g_time.(b) in
+        if c <> 0 then c
+        else
+          let c = Int.compare t.g_src.(a) t.g_src.(b) in
+          if c <> 0 then c else Int.compare t.g_seq.(a) t.g_seq.(b))
+      sub;
+    for i = 0 to n - 1 do
+      let g = sub.(i) in
+      into ~dst:t.g_dst.(g) ~time_ns:t.g_time.(g) t.g_act.(g);
+      t.g_act.(g) <- nop
+    done;
+    t.messages <- t.messages + n;
+    if n > t.max_batch then t.max_batch <- n
+  end
+
+let messages t = t.messages
+let max_batch t = t.max_batch
+let pair_counts t = Array.map Array.copy t.pair_counts

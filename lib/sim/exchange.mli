@@ -1,0 +1,41 @@
+(** Cross-shard event mailboxes (the deterministic half of the sharded
+    engine's window protocol).
+
+    Each source shard owns one outbox of int-packed parallel arrays;
+    during a window only that shard's domain appends to it, and the
+    window barrier hands the full set to the coordinating domain, which
+    {!drain}s every message in ascending [(arrival time, src shard,
+    seq)] order.  [seq] is a per-source post counter, i.e. the
+    deterministic execution order of the source engine, so the merged
+    order is a pure function of simulation state — independent of the
+    number of physical domains. *)
+
+type t
+
+val create : shards:int -> t
+val shards : t -> int
+
+val post : t -> src:int -> dst:int -> time_ns:int -> (unit -> unit) -> unit
+(** Append a message to [src]'s outbox for delivery on shard [dst] at
+    [time_ns].  Safe to call concurrently from different sources; never
+    from two domains for the same [src].  Admissibility of [time_ns]
+    (the conservative-window bound) is checked by {!Shard_engine.post},
+    not here. *)
+
+val pending : t -> int
+(** Messages posted and not yet drained. *)
+
+val drain : t -> into:(dst:int -> time_ns:int -> (unit -> unit) -> unit) -> unit
+(** Deliver all pending messages through [into] in ascending
+    [(time, src, seq)] order and reset the outboxes.  Coordinator-only;
+    must not race with {!post}. *)
+
+val messages : t -> int
+(** Total messages drained since creation. *)
+
+val max_batch : t -> int
+(** Largest single-drain batch seen. *)
+
+val pair_counts : t -> int array array
+(** Copy of the per-[(src, dst)] message counts (posted, including not
+    yet drained). *)

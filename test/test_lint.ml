@@ -713,7 +713,7 @@ let ownership_tests =
              (Ownership.class_of Ownership.default ~file:"bench/main.ml")));
     Alcotest.test_case "run entries cover every declared shard" `Quick
       (fun () ->
-        Alcotest.(check int) "nine run-phase entry points" 9
+        Alcotest.(check int) "ten run-phase entry points" 10
           (List.length (Ownership.run_entries Ownership.default)));
     Alcotest.test_case "crossing without a why is a defect" `Quick (fun () ->
         let spec =
