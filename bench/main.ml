@@ -52,6 +52,15 @@ let t_fig7 () =
     (100.0 *. E.Daylong.workload_reduction ~n_flows:(daylong_flows ()) ());
   print_endline "(paper: 61%-82% reduction; LazyCtrl stable across the day on the real trace)"
 
+let t_fig7_bytes () =
+  section "Fig. 7 in real units — control-channel load (bytes/s per 2-hour bucket)";
+  Table.print (E.Daylong.fig7_bytes_table ~n_flows:(daylong_flows ()) ());
+  Printf.printf
+    "Overall control-byte reduction, LazyCtrl (real, dynamic) vs OpenFlow: %.1f%%\n"
+    (100.0 *. E.Daylong.ctrl_bytes_reduction ~n_flows:(daylong_flows ()) ());
+  print_endline
+    "(encoded DESIGN.md-13 frames on controller-facing channels; the paper reports requests/s only)"
+
 let t_fig8 () =
   section "Fig. 8 — switch grouping updates per hour";
   Table.print (E.Daylong.fig8_table ~n_flows:(daylong_flows ()) ());
@@ -759,6 +768,146 @@ let perf_hp_edge_datapath () =
          run_rep ();
          events := Lazyctrl_sim.Engine.events_processed (Network.engine net)))
 
+(* --- wire codec probes ------------------------------------------------------ *)
+
+(* A representative control-channel message mix for the codec probes
+   (DESIGN.md §13), built once outside the measured closures: the
+   miss-path round trip (buffered punt, Flow_mod, Buffer_out), a full
+   unbuffered punt, and two Proto extension shapes. *)
+let wire_mix () =
+  let module Ids = Lazyctrl_net.Ids in
+  let module Packet = Lazyctrl_net.Packet in
+  let module Message = Lazyctrl_openflow.Message in
+  let module Proto = Lazyctrl_switch.Proto in
+  let host i =
+    Lazyctrl_net.Host.make ~id:(Ids.Host_id.of_int i)
+      ~tenant:(Ids.Tenant_id.of_int 0)
+  in
+  let pkt = Packet.data ~src:(host 1) ~dst:(host 2) ~length:1400 () in
+  let eth = Packet.eth_of pkt in
+  let actions = [ Lazyctrl_openflow.Action.Deliver (Ids.Host_id.of_int 2) ] in
+  let keys =
+    List.init 8 (fun i ->
+        {
+          Proto.mac = Lazyctrl_net.Mac.of_host_id (100 + i);
+          ip = Lazyctrl_net.Ipv4.of_host_id (100 + i);
+          tenant = Ids.Tenant_id.of_int 0;
+        })
+  in
+  [|
+    Message.Packet_in { packet = pkt; reason = Message.No_match; buffer_id = 7 };
+    Message.Flow_mod
+      (Message.Add
+         {
+           Lazyctrl_openflow.Flow_table.priority = 10;
+           ofmatch = Lazyctrl_openflow.Ofmatch.of_eth eth;
+           actions;
+           idle_timeout = Some (Lazyctrl_sim.Time.of_sec 60);
+           hard_timeout = None;
+           cookie = 42;
+         });
+    Message.Buffer_out { buffer_id = 7; actions };
+    Message.Packet_in
+      { packet = pkt; reason = Message.No_match; buffer_id = Message.no_buffer };
+    Message.Extension (Proto.Keepalive { from = Ids.Switch_id.of_int 3 });
+    Message.Extension
+      (Proto.Lfib_advert
+         { origin = Ids.Switch_id.of_int 3; added = keys; removed = []; full = false });
+  |]
+
+let perf_wire_encode () =
+  let module Wire = Lazyctrl_wire.Wire in
+  let module Proto = Lazyctrl_switch.Proto in
+  let n = perf_scale 400_000 in
+  let mix = wire_mix () in
+  let k = Array.length mix in
+  let sink = ref 0 in
+  let workload () =
+    for i = 0 to n - 1 do
+      sink :=
+        !sink
+        + Bytes.length (Wire.encode Proto.wire_ext (Array.unsafe_get mix (i mod k)))
+    done
+  in
+  perf_record
+    (Perf.Measure.run ~name:"wire-encode" ~reps:(perf_reps ()) ~ops_per_rep:n
+       workload);
+  ignore !sink
+
+(* [hot_only] restricts the mix to the two frames the H00x spec declares
+   hot — the buffered Packet_in and the Flow_mod — which is what the
+   hp-wire-decode budget in HOTPATH_budget prices. *)
+let perf_wire_decode ?(name = "wire-decode") ?(hot_only = false) () =
+  let module Wire = Lazyctrl_wire.Wire in
+  let module Proto = Lazyctrl_switch.Proto in
+  let module Message = Lazyctrl_openflow.Message in
+  let n = perf_scale 400_000 in
+  let mix = wire_mix () in
+  let mix = if hot_only then Array.sub mix 0 2 else mix in
+  let frames = Array.map (Wire.encode Proto.wire_ext) mix in
+  let k = Array.length frames in
+  let sink = ref 0 in
+  let workload () =
+    for i = 0 to n - 1 do
+      match Wire.decode Proto.wire_ext (Array.unsafe_get frames (i mod k)) with
+      | Message.Packet_in _ | Message.Flow_mod _ -> incr sink
+      | _ -> ()
+    done
+  in
+  perf_record
+    (Perf.Measure.run ~name ~reps:(perf_reps ()) ~ops_per_rep:n workload);
+  ignore !sink
+
+(* buffered-punt: the switch-side miss cycle — park the packet, encode
+   and decode the truncated punt, release the slot on the Buffer_out.
+   Ops are punts; the encode/decode pair makes the probe price exactly
+   what the control channel carries per miss. *)
+let perf_buffered_punt () =
+  let module Wire = Lazyctrl_wire.Wire in
+  let module Proto = Lazyctrl_switch.Proto in
+  let module Message = Lazyctrl_openflow.Message in
+  let module Buffer_pool = Lazyctrl_openflow.Buffer_pool in
+  let module Time = Lazyctrl_sim.Time in
+  let n = perf_scale 100_000 in
+  let mix = wire_mix () in
+  let pkt =
+    match mix.(0) with
+    | Message.Packet_in { packet; _ } -> packet
+    | _ -> assert false
+  in
+  let pool = Buffer_pool.create ~ttl:(Time.of_sec 1) () in
+  let now = Time.of_ns 0 in
+  let sink = ref 0 in
+  let workload () =
+    for _ = 1 to n do
+      match Buffer_pool.store pool ~now pkt with
+      | None -> ()
+      | Some id ->
+          let frame =
+            Wire.encode Proto.wire_ext
+              (Message.Packet_in
+                 { packet = pkt; reason = Message.No_match; buffer_id = id })
+          in
+          (match Wire.decode Proto.wire_ext frame with
+          | Message.Packet_in { buffer_id; _ } -> (
+              match Buffer_pool.take pool ~now buffer_id with
+              | Some _ -> incr sink
+              | None -> ())
+          | _ -> ())
+    done
+  in
+  perf_record
+    (Perf.Measure.run ~name:"buffered-punt" ~reps:(perf_reps ()) ~ops_per_rep:n
+       workload);
+  ignore !sink
+
+let t_wire_codec () =
+  section "Perf: binary wire codec (encode / decode / buffered punt)";
+  Printf.printf "%-16s %14s %12s %12s\n" "target" "ops/sec" "ns/op" "B/op";
+  perf_wire_encode ();
+  perf_wire_decode ();
+  perf_buffered_punt ()
+
 let t_hotpath () =
   section
     "Hot-path probes (minor words/op; gated against HOTPATH_budget by `make \
@@ -769,6 +918,7 @@ let t_hotpath () =
   perf_bloom_query ~name:"hp-bloom-query" ();
   perf_lfib_lookup ~name:"hp-lfib-lookup" ();
   perf_gfib_probe ~name:"hp-gfib-probe" ();
+  perf_wire_decode ~name:"hp-wire-decode" ~hot_only:true ();
   perf_hp_edge_datapath ()
 
 let t_perf () =
@@ -778,6 +928,9 @@ let t_perf () =
   perf_bloom_query ();
   perf_lfib_lookup ();
   perf_gfib_probe ();
+  perf_wire_encode ();
+  perf_wire_decode ();
+  perf_buffered_punt ();
   perf_packet_replay ();
   perf_shard_replay ();
   perf_cluster_migration ();
@@ -846,6 +999,7 @@ let targets =
     ("fig6a", t_fig6a);
     ("fig6b", t_fig6b);
     ("fig7", t_fig7);
+    ("fig7-bytes", t_fig7_bytes);
     ("fig8", t_fig8);
     ("fig9", t_fig9);
     ("table1", t_table1);
@@ -857,6 +1011,7 @@ let targets =
     ("ablate-appendix", t_ablate_appendix);
     ("micro", t_micro);
     ("perf", t_perf);
+    ("wire-codec", t_wire_codec);
     ("hotpath", t_hotpath);
     ("perf-replay", t_perf_replay);
     ("shard-replay", t_shard_replay);

@@ -114,6 +114,10 @@ let simulate mode_str seed switches tenants flows hours limit =
     (Recorder.total_requests recorder)
     (Float.of_int (Recorder.total_requests recorder)
     /. Time.to_float_sec horizon);
+  Printf.printf "control channel: %d bytes (%.1f B/s avg)\n"
+    (Network.ctrl_bytes_sent net)
+    (Float.of_int (Recorder.total_ctrl_bytes recorder)
+    /. Time.to_float_sec horizon);
   (match Network.lazy_controller net with
   | Some c ->
       let s = Controller.stats c in
@@ -132,8 +136,12 @@ let simulate mode_str seed switches tenants flows hours limit =
         sw.Lazyctrl_switch.Edge_switch.gfib_duplicates
         sw.Lazyctrl_switch.Edge_switch.fp_drops
   | Network.Openflow -> ());
-  let tbl = Table.create [ "hour bucket"; "workload (req/s)"; "avg latency (ms)" ] in
+  let tbl =
+    Table.create
+      [ "hour bucket"; "workload (req/s)"; "ctrl (bytes/s)"; "avg latency (ms)" ]
+  in
   let rates = Recorder.workload_rps recorder in
+  let byte_rates = Recorder.ctrl_bytes_per_sec recorder in
   let lats = Recorder.latency_ms_series recorder in
   Array.iteri
     (fun i r ->
@@ -141,6 +149,7 @@ let simulate mode_str seed switches tenants flows hours limit =
         [
           Recorder.bucket_label recorder i;
           Table.cell_float ~decimals:3 r;
+          Table.cell_float ~decimals:1 byte_rates.(i);
           Table.cell_float ~decimals:3 lats.(i);
         ])
     rates;
@@ -188,6 +197,57 @@ let group_cmd =
 
 (* --- workload ------------------------------------------------------------------- *)
 
+(* Price every flow's first-packet punt with the real codec (DESIGN.md
+   §13): a reactive control plane pays Packet_in + Flow_mod + a reply
+   per new flow. Compares the unbuffered punt (full packet both ways)
+   against the buffered one (truncated Packet_in + Buffer_out). *)
+let punt_cost_estimate topo trace =
+  let module Wire = Lazyctrl_wire.Wire in
+  let module Message = Lazyctrl_openflow.Message in
+  let module Packet = Lazyctrl_net.Packet in
+  let frame m = Wire.frame_size Wire.unit_ext m in
+  let full = ref 0 and buffered = ref 0 in
+  Trace.iter trace (fun f ->
+      let src = Topology.host topo f.Trace.src in
+      let dst = Topology.host topo f.Trace.dst in
+      let pkt =
+        Packet.data ~src ~dst ~length:(f.Trace.bytes / max 1 f.Trace.packets) ()
+      in
+      let eth = Packet.eth_of pkt in
+      let actions = [ Lazyctrl_openflow.Action.Deliver f.Trace.dst ] in
+      let flow_mod =
+        Message.Flow_mod
+          (Message.Add
+             {
+               Lazyctrl_openflow.Flow_table.priority = 10;
+               ofmatch = Lazyctrl_openflow.Ofmatch.of_eth eth;
+               actions;
+               idle_timeout = Some (Time.of_sec 60);
+               hard_timeout = None;
+               cookie = 0;
+             })
+      in
+      let fm = frame flow_mod in
+      full :=
+        !full
+        + frame
+            (Message.Packet_in
+               {
+                 packet = pkt;
+                 reason = Message.No_match;
+                 buffer_id = Message.no_buffer;
+               })
+        + fm
+        + frame (Message.Packet_out { packet = pkt; actions });
+      buffered :=
+        !buffered
+        + frame
+            (Message.Packet_in
+               { packet = pkt; reason = Message.No_match; buffer_id = 0 })
+        + fm
+        + frame (Message.Buffer_out { buffer_id = 0; actions }));
+  (!full, !buffered)
+
 let workload_run seed switches tenants flows out =
   let topo, trace, _ = build_workload ~seed ~switches ~tenants ~flows ~hours:24 in
   Printf.printf "topology: %d switches, %d hosts, %d tenants\n"
@@ -202,6 +262,16 @@ let workload_run seed switches tenants flows out =
     (Analysis.avg_centrality ~rng:(Prng.create (seed + 2)) ~k:5 trace);
   Printf.printf "peak flow arrival rate: %.2f flows/s\n"
     (Analysis.flows_per_second_peak trace ~bucket:(Time.of_min 10));
+  let full, buffered = punt_cost_estimate topo trace in
+  let secs = Time.to_float_sec (Trace.duration trace) in
+  Printf.printf
+    "reactive punt cost (wire codec): %d bytes (%.1f B/s avg); buffered punts: \
+     %d bytes (%.1f B/s, %.1f%% saved)\n"
+    full
+    (Float.of_int full /. secs)
+    buffered
+    (Float.of_int buffered /. secs)
+    (100. *. (1. -. (Float.of_int buffered /. Float.of_int full)));
   match out with
   | Some path ->
       Trace.save trace path;
@@ -258,6 +328,7 @@ let print_tracer_report tracer =
     (Tracer.recorded tracer)
     (List.length (Tracer.events tracer))
     (Tracer.dropped tracer);
+  Printf.printf "control bytes on the wire: %d\n" (Tracer.ctrl_bytes tracer);
   print_endline "event counts:";
   List.iter
     (fun (label, n) -> Printf.printf "  %-18s %d\n" label n)
@@ -416,6 +487,11 @@ let experiment name quick =
   | "fig6b" -> print (E.Grouping_exp.fig6b ())
   | "fig7" ->
       print (E.Daylong.fig7_table ?n_flows:(if quick then Some 30_000 else None) ())
+  | "fig7-bytes" ->
+      print
+        (E.Daylong.fig7_bytes_table
+           ?n_flows:(if quick then Some 30_000 else None)
+           ())
   | "fig8" ->
       print (E.Daylong.fig8_table ?n_flows:(if quick then Some 30_000 else None) ())
   | "fig9" ->
@@ -443,9 +519,9 @@ let experiment_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"NAME"
           ~doc:
-            "table1 | table2 | fig6a | fig6b | fig7 | fig8 | fig9 | chaos | \
-             cluster-failover | coldcache | storage | ablate-size | \
-             ablate-negotiation | ablate-bloom")
+            "table1 | table2 | fig6a | fig6b | fig7 | fig7-bytes | fig8 | \
+             fig9 | chaos | cluster-failover | coldcache | storage | \
+             ablate-size | ablate-negotiation | ablate-bloom")
   in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller workloads, faster runs.")

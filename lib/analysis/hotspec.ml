@@ -170,6 +170,13 @@ let default =
           h_probe = "hp-gfib-probe";
           h_id = "Lazyctrl_switch.Gfib.iter_candidates_mac";
         };
+        (* The wire codec's decode: every control-plane message crosses a
+           channel as bytes (DESIGN.md §13), and the miss-path frames —
+           buffered Packet_in, Flow_mod — are the decode hot path.  The
+           decoded message value itself is a necessary allocation, so the
+           probe's budget in HOTPATH_budget is nonzero and prices exactly
+           that materialization (allowlisted H001 residue in wire.ml). *)
+        { h_probe = "hp-wire-decode"; h_id = "Lazyctrl_wire.Wire.decode" };
       ];
     cold =
       [

@@ -40,20 +40,25 @@ let allowed_deps =
        back into simulated behaviour. *)
     ("trace", [ "util"; "sim"; "net" ]);
     ("openflow", [ "util"; "sim"; "net"; "trace" ]);
+    (* The binary codec sits beside openflow, not inside it: channels
+       accept encode/decode as plain closures, so openflow stays ignorant
+       of the wire format while switch/core/cluster plug it in. *)
+    ("wire", [ "util"; "sim"; "net"; "openflow" ]);
     ("topo", [ "util"; "sim"; "net" ]);
     ("grouping", [ "util"; "net"; "graph" ]);
     ("traffic", [ "util"; "sim"; "net"; "graph"; "topo" ]);
-    ("switch", [ "util"; "sim"; "net"; "bloom"; "openflow"; "trace" ]);
+    ("switch", [ "util"; "sim"; "net"; "bloom"; "openflow"; "wire"; "trace" ]);
     ("baseline", [ "util"; "sim"; "net"; "openflow" ]);
     ( "controller",
       [
-        "util"; "sim"; "net"; "graph"; "grouping"; "openflow"; "switch";
-        "trace";
+        "util"; "sim"; "net"; "graph"; "grouping"; "openflow"; "wire";
+        "switch"; "trace";
       ] );
     ( "core",
       [
-        "util"; "sim"; "net"; "bloom"; "graph"; "openflow"; "topo"; "traffic";
-        "grouping"; "switch"; "controller"; "baseline"; "metrics"; "trace";
+        "util"; "sim"; "net"; "bloom"; "graph"; "openflow"; "wire"; "topo";
+        "traffic"; "grouping"; "switch"; "controller"; "baseline"; "metrics";
+        "trace";
       ] );
     (* Chaos drives core/controller from the outside; nothing below it may
        ever reference it back — fault injection must stay optional. *)
@@ -67,7 +72,7 @@ let allowed_deps =
        ignorant of the cluster (its cluster fault kinds are inert there). *)
     ( "cluster",
       [
-        "util"; "sim"; "net"; "graph"; "grouping"; "openflow"; "topo";
+        "util"; "sim"; "net"; "graph"; "grouping"; "openflow"; "wire"; "topo";
         "switch"; "controller"; "core"; "chaos"; "trace";
       ] );
     ( "experiments",

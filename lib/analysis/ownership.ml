@@ -267,6 +267,19 @@ let default =
               "the Proto grammar is the wire format crossing shards; \
                values are immutable messages, ownership transfers on send";
         };
+        (* The binary codec has no state of its own: writers/readers are
+           created per call and every frame is a fresh Bytes value, so
+           encode on one shard / decode on another never alias. *)
+        {
+          path = "lib/wire/";
+          cls = Shard_crossing;
+          why =
+            Some
+              "the codec serializes messages into fresh Bytes frames at \
+               the channel boundary; a frame is written once by the \
+               sending shard and read by the receiving one, never shared \
+               mutable state";
+        };
         {
           path = "lib/core/network.ml";
           cls = Shard_crossing;

@@ -20,6 +20,7 @@ type stats = {
   packet_ins : int;
   flow_mods_sent : int;
   packet_outs_sent : int;
+  buffer_outs_sent : int;
   floods : int;
   learned_macs : int;
 }
@@ -33,6 +34,7 @@ type t = {
   mutable s_packet_ins : int;
   mutable s_flow_mods : int;
   mutable s_packet_outs : int;
+  mutable s_buffer_outs : int;
   mutable s_floods : int;
 }
 
@@ -46,6 +48,7 @@ let create env config =
     s_packet_ins = 0;
     s_flow_mods = 0;
     s_packet_outs = 0;
+    s_buffer_outs = 0;
     s_floods = 0;
   }
 
@@ -59,26 +62,36 @@ let packet_out t sw packet actions =
   t.s_packet_outs <- t.s_packet_outs + 1;
   t.env.send_switch sw (Message.Packet_out { packet; actions })
 
-let flood_everywhere t ~from packet =
+(* Replies to the punting switch release the parked packet by buffer id
+   when the punt was buffered; copies aimed at other switches must carry
+   the packet — only the punting switch holds the buffer. *)
+let reply_to_punt t sw ~buffer_id packet actions =
+  if buffer_id <> Message.no_buffer then begin
+    t.s_buffer_outs <- t.s_buffer_outs + 1;
+    t.env.send_switch sw (Message.Buffer_out { buffer_id; actions })
+  end
+  else packet_out t sw packet actions
+
+let flood_everywhere t ~from ~buffer_id packet =
   t.s_floods <- t.s_floods + 1;
   for i = 0 to t.env.n_switches - 1 do
     let sw = Sid.of_int i in
     if not (Sid.equal sw from) then packet_out t sw packet [ Action.Flood_local ]
   done;
   (* Also out of the ingress switch's other local ports. *)
-  packet_out t from packet [ Action.Flood_local ]
+  reply_to_punt t from ~buffer_id packet [ Action.Flood_local ]
 
-let handle_packet_in t ~from packet =
+let handle_packet_in t ~from ~buffer_id packet =
   t.s_packet_ins <- t.s_packet_ins + 1;
   let eth = Packet.eth_of packet in
   Hashtbl.replace t.learned (Mac.to_int eth.Packet.src) from;
-  if Mac.is_broadcast eth.Packet.dst then flood_everywhere t ~from packet
+  if Mac.is_broadcast eth.Packet.dst then flood_everywhere t ~from ~buffer_id packet
   else
     match locate t eth.Packet.dst with
-    | None -> flood_everywhere t ~from packet
+    | None -> flood_everywhere t ~from ~buffer_id packet
     | Some target when Sid.equal target from ->
         (* Same-switch pair: have the switch put it out the local ports. *)
-        packet_out t from packet [ Action.Flood_local ]
+        reply_to_punt t from ~buffer_id packet [ Action.Flood_local ]
     | Some target ->
         t.s_flow_mods <- t.s_flow_mods + 1;
         t.env.send_switch from
@@ -93,16 +106,18 @@ let handle_packet_in t ~from packet =
                   hard_timeout = None;
                   cookie = 1;
                 }));
-        packet_out t from packet [ Action.Encap (underlay_ip_of target) ]
+        reply_to_punt t from ~buffer_id packet
+          [ Action.Encap (underlay_ip_of target) ]
 
 let handle_message t ~from msg =
   match msg with
-  | Message.Packet_in { packet; _ } ->
+  | Message.Packet_in { packet; buffer_id; _ } ->
       t.s_requests <- t.s_requests + 1;
       t.request_hook ();
-      handle_packet_in t ~from packet
+      handle_packet_in t ~from ~buffer_id packet
   | Message.Echo_reply _ | Message.Hello | Message.Echo_request _
-  | Message.Packet_out _ | Message.Flow_mod _ | Message.Extension () ->
+  | Message.Packet_out _ | Message.Buffer_out _ | Message.Flow_mod _
+  | Message.Extension () ->
       ()
 
 let stats t =
@@ -111,6 +126,7 @@ let stats t =
     packet_ins = t.s_packet_ins;
     flow_mods_sent = t.s_flow_mods;
     packet_outs_sent = t.s_packet_outs;
+    buffer_outs_sent = t.s_buffer_outs;
     floods = t.s_floods;
     learned_macs = Hashtbl.length t.learned;
   }

@@ -30,6 +30,9 @@ type stats = {
   packet_ins : int;
   flow_mods_sent : int;
   packet_outs_sent : int;
+  buffer_outs_sent : int;
+      (** replies that released a parked packet by buffer id (DESIGN.md
+          §13) *)
   floods : int;
   learned_macs : int;
 }

@@ -26,6 +26,7 @@ type t = {
   env : env;
   table : Flow_table.t;
   ports : (int, Host.t) Hashtbl.t; (* mac -> locally attached host *)
+  buffers : Buffer_pool.t;
   mutable s_from_hosts : int;
   mutable s_delivered : int;
   mutable s_encap : int;
@@ -38,6 +39,7 @@ let create env ~flow_table_capacity =
     env;
     table = Flow_table.create ~capacity:flow_table_capacity ();
     ports = Hashtbl.create 32;
+    buffers = Buffer_pool.create ~ttl:(Time.of_sec 1) ();
     s_from_hosts = 0;
     s_delivered = 0;
     s_encap = 0;
@@ -91,9 +93,16 @@ let apply_actions t packet actions =
             (Packet.encap ~outer_src:t.env.underlay_ip ~outer_dst:ip eth)
       | Action.Flood_local -> flood_local t eth
       | Action.To_controller ->
+          (* Action punts replay controller-injected packets; those never
+             come back by id, so they are not worth a buffer slot. *)
           t.s_punted <- t.s_punted + 1;
           t.env.send_controller
-            (Message.Packet_in { packet; reason = Message.Action_punt })
+            (Message.Packet_in
+               {
+                 packet;
+                 reason = Message.Action_punt;
+                 buffer_id = Message.no_buffer;
+               })
       | Action.Drop -> ())
     actions
 
@@ -105,9 +114,16 @@ let handle_from_host t (_host : Host.t) packet =
       t.s_flow_table <- t.s_flow_table + 1;
       apply_actions t packet actions
   | None ->
+      (* Park the packet and punt headers + buffer id; a full pool falls
+         back to punting the whole packet (DESIGN.md §13). *)
       t.s_punted <- t.s_punted + 1;
+      let buffer_id =
+        match Buffer_pool.store t.buffers ~now:(now t) packet with
+        | Some id -> id
+        | None -> Message.no_buffer
+      in
       t.env.send_controller
-        (Message.Packet_in { packet; reason = Message.No_match })
+        (Message.Packet_in { packet; reason = Message.No_match; buffer_id })
 
 let handle_underlay t packet =
   match packet with
@@ -126,12 +142,17 @@ let handle_controller_message t msg =
   | Message.Flow_mod (Message.Delete m) ->
       ignore (Flow_table.remove_matching t.table m)
   | Message.Packet_out { packet; actions } -> apply_actions t packet actions
+  | Message.Buffer_out { buffer_id; actions } -> (
+      match Buffer_pool.take t.buffers ~now:(now t) buffer_id with
+      | Some packet -> apply_actions t packet actions
+      | None -> ())
   | Message.Echo_request n -> t.env.send_controller (Message.Echo_reply n)
   | Message.Hello | Message.Echo_reply _ | Message.Packet_in _
   | Message.Extension () ->
       ()
 
 let flow_table t = t.table
+let buffer_stats t = Buffer_pool.stats t.buffers
 
 let stats t =
   {

@@ -9,6 +9,16 @@ module Prng = Lazyctrl_util.Prng
 module Det = Lazyctrl_util.Det
 module Sid = Ids.Switch_id
 module Gid = Ids.Group_id
+module Wire = Lazyctrl_wire.Wire
+
+(* Switch-facing channels carry encoded §13 frames, like Network's.  The
+   coordination mesh stays value-passing: it is the management plane
+   between controller processes (gossip, views, handoffs), not
+   switch-facing OpenFlow, and its load is not part of the Fig. 7
+   control-channel series — the documented exception in DESIGN.md §13. *)
+let set_proto_codec ch =
+  Channel.set_codec ch ~encode:(Wire.encode Proto.wire_ext)
+    ~decode:(Wire.decode Proto.wire_ext)
 
 type t = {
   params : Params.t;
@@ -102,6 +112,7 @@ let create ?(params = Params.default)
         ~latency:params.Params.control_link_latency
         ~name:(Printf.sprintf fmt k i) ()
     in
+    set_proto_codec ch;
     apply_loss loss_rng params.Params.control_loss ch;
     ch
   in
@@ -136,6 +147,7 @@ let create ?(params = Params.default)
             ~name:(Printf.sprintf "peer-%d-%d" (fst key) (snd key))
             ()
         in
+        set_proto_codec ch;
         apply_loss loss_rng !peer_loss ch;
         Channel.set_receiver ch (fun msg ->
             Edge_switch.handle_peer_message (get_switch (snd key)) ~from:src msg);
@@ -481,6 +493,13 @@ let switch_stats_sum t =
         misses_replayed = acc.misses_replayed + s.misses_replayed;
       })
     zero_stats t.switches
+
+let ctrl_bytes_sent t =
+  let sum acc arr =
+    Array.fold_left (fun acc ch -> acc + Channel.bytes_sent ch) acc arr
+  in
+  let acc = Array.fold_left sum 0 t.up in
+  Array.fold_left sum acc t.down
 
 let reliability_stats t =
   let acc =

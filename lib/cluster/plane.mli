@@ -98,6 +98,12 @@ val set_peer_loss : t -> Lazyctrl_openflow.Channel.loss_spec option -> unit
 
 val switch_stats_sum : t -> Edge_switch.stats
 
+val ctrl_bytes_sent : t -> int
+(** Encoded bytes offered on the switch-facing control spokes of every
+    member (both directions).  The coordination mesh is value-passing and
+    deliberately uncounted — management-plane traffic between controller
+    processes, not switch-facing control load (DESIGN.md §13). *)
+
 val reliability_stats : t -> Lazyctrl_openflow.Reliable.stats
 (** Aggregate over every reliable session anywhere in the cluster:
     controller-side, switch-side, and the inter-member coordination

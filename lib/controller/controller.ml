@@ -67,6 +67,7 @@ type stats = {
   ring_alarms : int;
   flow_mods_sent : int;
   packet_outs_sent : int;
+  buffer_outs_sent : int;
   arp_relays : int;
   floods : int;
   grouping_updates : int;
@@ -107,6 +108,7 @@ type t = {
   mutable s_ring_alarms : int;
   mutable s_flow_mods : int;
   mutable s_packet_outs : int;
+  mutable s_buffer_outs : int;
   mutable s_arp_relays : int;
   mutable s_floods : int;
   mutable s_updates : int;
@@ -147,6 +149,7 @@ let create ?(tracer = Tracer.disabled) env config ~n_switches =
     s_ring_alarms = 0;
     s_flow_mods = 0;
     s_packet_outs = 0;
+    s_buffer_outs = 0;
     s_arp_relays = 0;
     s_floods = 0;
     s_updates = 0;
@@ -194,8 +197,9 @@ let session t sw =
   | Some s -> s
   | None ->
       let s =
-        Reliable.create ~tracer:t.tracer ~rng:t.env.rng t.env.engine
-          t.config.retrans
+        Reliable.create ~tracer:t.tracer ~rng:t.env.rng
+          ~payload_bytes:(Lazyctrl_wire.Wire.message_size Proto.wire_ext)
+          t.env.engine t.config.retrans
           ~send_data:(fun ~epoch ~seq payload ->
             send t sw (Message.Extension (Proto.Seq { epoch; seq; payload })))
           ~send_ack:(fun ~epoch ~cum ->
@@ -221,6 +225,19 @@ let flow_mod t sw entry =
 let packet_out t sw packet actions =
   t.s_packet_outs <- t.s_packet_outs + 1;
   send t sw (Message.Packet_out { packet; actions })
+
+let buffer_out t sw ~buffer_id actions =
+  t.s_buffer_outs <- t.s_buffer_outs + 1;
+  send t sw (Message.Buffer_out { buffer_id; actions })
+
+(* Reply on the punt's return path: when the switch parked the packet
+   under a buffer id, release it by id instead of echoing the packet
+   bytes back down the control link (DESIGN.md §13). Replies aimed at
+   *other* switches must stay full [Packet_out]s — only the punting
+   switch holds the buffer. *)
+let reply_to_punt t sw ~buffer_id packet actions =
+  if buffer_id <> Message.no_buffer then buffer_out t sw ~buffer_id actions
+  else packet_out t sw packet actions
 
 (* --- intensity matrix ------------------------------------------------------ *)
 
@@ -636,7 +653,7 @@ let handle_remote_arp t ~origin packet =
      only — re-firing the hook here would echo it around the mesh. *)
   relay_unknown_target t ~origin packet
 
-let install_forwarding t ~from ~target packet =
+let install_forwarding t ~from ~buffer_id ~target packet =
   let eth = Packet.eth_of packet in
   let entry =
     {
@@ -651,7 +668,7 @@ let install_forwarding t ~from ~target packet =
   if Tracer.enabled t.tracer then
     trace_pkt t ~from packet (Tev.Ctrl_install (Sid.to_int target));
   flow_mod t from entry;
-  packet_out t from packet [ Action.Encap (underlay_ip_of target) ];
+  reply_to_punt t from ~buffer_id packet [ Action.Encap (underlay_ip_of target) ];
   note_intensity t from target 1.0
 
 let flood_tenant t ~from packet =
@@ -669,21 +686,28 @@ let flood_tenant t ~from packet =
         packet_out t sw packet [ Action.Flood_local ])
     targets
 
-let handle_packet_in t ~from packet =
+let handle_packet_in t ~from ~buffer_id packet =
   t.s_packet_ins <- t.s_packet_ins + 1;
   trace_pkt t ~from packet Tev.Ctrl_packet_in;
   let eth = Packet.eth_of packet in
   match eth.Packet.payload with
-  | Packet.Arp { op = Packet.Request; _ } -> relay_arp t ~origin:from packet
+  | Packet.Arp { op = Packet.Request; _ } ->
+      (* ARP resolution answers come from elsewhere (owner switch or a
+         group broadcast); the parked copy at the punting switch ages out
+         on its own. *)
+      relay_arp t ~origin:from packet
   | Packet.Arp { op = Packet.Reply; _ } | Packet.Ipv4 _ -> (
       match Clib.locate_mac t.clib eth.Packet.dst with
       | Some target when not (Sid.equal target from) ->
-          install_forwarding t ~from ~target packet
+          install_forwarding t ~from ~buffer_id ~target packet
       | Some _ ->
           (* The owner is local to the punting switch but its L-FIB missed
              it (e.g. just after recovery): hand the frame back. *)
-          packet_out t from packet [ Action.Flood_local ]
-      | None -> flood_tenant t ~from packet)
+          reply_to_punt t from ~buffer_id packet [ Action.Flood_local ]
+      | None ->
+          (* The flood copies go to *other* switches, which do not hold
+             the buffer; the punting switch's parked copy expires. *)
+          flood_tenant t ~from packet)
 
 (* --- message entry point ------------------------------------------------------ *)
 
@@ -694,9 +718,9 @@ let rec handle_message t ~from msg =
   | Some s when Reliable.has_given_up s -> Reliable.kick s
   | _ -> ());
   match msg with
-  | Message.Packet_in { packet; _ } ->
+  | Message.Packet_in { packet; buffer_id; _ } ->
       request t "packet_in";
-      handle_packet_in t ~from packet
+      handle_packet_in t ~from ~buffer_id packet
   | Message.Echo_reply _ ->
       Failover.Monitor.echo_received t.monitor from;
       if Sid.Set.mem from t.awaiting_recovery then switch_recovered t from
@@ -704,7 +728,9 @@ let rec handle_message t ~from msg =
       (* Power-on handshake: the switch announces it is (back) up.  Re-push
          its configuration; harmless if it never had one. *)
       switch_recovered t from
-  | Message.Echo_request _ | Message.Packet_out _ | Message.Flow_mod _ -> ()
+  | Message.Echo_request _ | Message.Packet_out _ | Message.Buffer_out _
+  | Message.Flow_mod _ ->
+      ()
   | Message.Extension ext -> (
       match ext with
       | Proto.State_report { deltas; intensity; _ } ->
@@ -929,6 +955,7 @@ let stats t =
     ring_alarms = t.s_ring_alarms;
     flow_mods_sent = t.s_flow_mods;
     packet_outs_sent = t.s_packet_outs;
+    buffer_outs_sent = t.s_buffer_outs;
     arp_relays = t.s_arp_relays;
     floods = t.s_floods;
     grouping_updates = t.s_updates;

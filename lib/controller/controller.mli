@@ -63,6 +63,9 @@ type stats = {
   ring_alarms : int;
   flow_mods_sent : int;
   packet_outs_sent : int;
+  buffer_outs_sent : int;
+      (** replies that released a parked packet by buffer id instead of
+          echoing its bytes back down the control link (DESIGN.md §13) *)
   arp_relays : int;      (** cross-group ARP broadcasts relayed *)
   floods : int;          (** unknown-destination tenant-scoped floods *)
   grouping_updates : int;     (** IncUpdate rounds applied (Fig. 8) *)

@@ -12,6 +12,21 @@ module Prng = Lazyctrl_util.Prng
 module Det = Lazyctrl_util.Det
 module Sid = Ids.Switch_id
 module Tracer = Lazyctrl_trace.Tracer
+module Wire = Lazyctrl_wire.Wire
+
+(* Every control-plane channel carries real bytes: messages are encoded
+   through the DESIGN.md §13 wire format at send and decoded back at
+   delivery, so the channels' byte counters (and the bytes/sec series
+   fed from them) measure the actual frames, not estimates.  The one
+   value-passing exception is the control-link relay detour in
+   [send_switch], which models a neighbour hand-off without a channel. *)
+let set_proto_codec ch =
+  Channel.set_codec ch ~encode:(Wire.encode Proto.wire_ext)
+    ~decode:(Wire.decode Proto.wire_ext)
+
+let set_unit_codec ch =
+  Channel.set_codec ch ~encode:(Wire.encode Wire.unit_ext)
+    ~decode:(Wire.decode Wire.unit_ext)
 
 type mode = Lazy | Openflow
 
@@ -103,6 +118,7 @@ let make_lazy_plane ~params ~controller_config ~tracer ~engine ~topo ~underlay
             ~latency:params.Params.control_link_latency
             ~name:(Printf.sprintf "ctrl-up-%d" i) ()
         in
+        set_proto_codec ch;
         apply_loss loss_rng params.Params.control_loss ch;
         ch)
   in
@@ -113,6 +129,7 @@ let make_lazy_plane ~params ~controller_config ~tracer ~engine ~topo ~underlay
             ~latency:params.Params.control_link_latency
             ~name:(Printf.sprintf "ctrl-down-%d" i) ()
         in
+        set_proto_codec ch;
         apply_loss loss_rng params.Params.control_loss ch;
         ch)
   in
@@ -130,6 +147,7 @@ let make_lazy_plane ~params ~controller_config ~tracer ~engine ~topo ~underlay
             ~name:(Printf.sprintf "peer-%d-%d" (fst key) (snd key))
             ()
         in
+        set_proto_codec ch;
         apply_loss loss_rng !peer_loss ch;
         Channel.set_receiver ch (fun msg ->
             Edge_switch.handle_peer_message (get_switch (snd key)) ~from:src msg);
@@ -232,15 +250,23 @@ let make_of_plane ~params ~of_config ~engine ~topo ~underlay ~deliver_local =
   let switches : Of_switch.t option array = Array.make n None in
   let ctrl_up =
     Array.init n (fun i ->
-        Channel.create ~strict:true engine
-          ~latency:params.Params.control_link_latency
-          ~name:(Printf.sprintf "of-ctrl-up-%d" i) ())
+        let ch =
+          Channel.create ~strict:true engine
+            ~latency:params.Params.control_link_latency
+            ~name:(Printf.sprintf "of-ctrl-up-%d" i) ()
+        in
+        set_unit_codec ch;
+        ch)
   in
   let ctrl_down =
     Array.init n (fun i ->
-        Channel.create ~strict:true engine
-          ~latency:params.Params.control_link_latency
-          ~name:(Printf.sprintf "of-ctrl-down-%d" i) ())
+        let ch =
+          Channel.create ~strict:true engine
+            ~latency:params.Params.control_link_latency
+            ~name:(Printf.sprintf "of-ctrl-down-%d" i) ()
+        in
+        set_unit_codec ch;
+        ch)
   in
   let service =
     Service_queue.create engine ~service_time:params.Params.of_controller_service
@@ -345,13 +371,28 @@ let create ?(params = Params.default)
       | Of_plane p -> Of_switch.attach_host p.of_switches.(loc) h)
     (Topology.hosts topo);
   (* Wire measurement taps. *)
+  (* The ctrl-bytes series counts controller-facing channels only (both
+     directions); peer links keep their own per-channel byte counters but
+     are switch-to-switch load, not controller load. The hook fires once
+     per encoded send, at the instant the channel's own [bytes_sent]
+     grows, so recorder and tracer totals equal the channel counters
+     exactly — the DESIGN.md §13 cross-check. *)
+  let tap_ctrl_bytes ch =
+    Channel.set_wire_hook ch (fun n ->
+        Recorder.on_control_bytes recorder n;
+        Tracer.add_ctrl_bytes tracer n)
+  in
   (match t.plane with
   | Lazy_plane p ->
+      Array.iter tap_ctrl_bytes p.ctrl_up;
+      Array.iter tap_ctrl_bytes p.ctrl_down;
       Controller.set_request_hook p.controller (fun () ->
           Recorder.on_controller_request recorder);
       Controller.set_update_hook p.controller (fun () ->
           Recorder.on_grouping_update recorder)
   | Of_plane p ->
+      Array.iter tap_ctrl_bytes p.of_ctrl_up;
+      Array.iter tap_ctrl_bytes p.of_ctrl_down;
       Of_controller.set_request_hook p.of_controller (fun () ->
           Recorder.on_controller_request recorder));
   t
@@ -524,6 +565,7 @@ let fail_peer_key t (p : lazy_plane) key =
           ~name:(Printf.sprintf "peer-%d-%d" (fst key) (snd key))
           ()
       in
+      set_proto_codec ch;
       apply_loss p.loss_rng !(p.peer_loss) ch;
       Channel.set_receiver ch (fun msg ->
           Edge_switch.handle_peer_message
@@ -583,6 +625,8 @@ type link_totals = {
   links_dropped : int;
   links_lost : int;
   links_duplicated : int;
+  links_bytes_sent : int;
+  links_bytes_delivered : int;
 }
 
 let link_zero =
@@ -592,6 +636,8 @@ let link_zero =
     links_dropped = 0;
     links_lost = 0;
     links_duplicated = 0;
+    links_bytes_sent = 0;
+    links_bytes_delivered = 0;
   }
 
 let link_add acc ch =
@@ -601,6 +647,9 @@ let link_add acc ch =
     links_dropped = acc.links_dropped + Channel.dropped ch;
     links_lost = acc.links_lost + Channel.lost ch;
     links_duplicated = acc.links_duplicated + Channel.duplicated ch;
+    links_bytes_sent = acc.links_bytes_sent + Channel.bytes_sent ch;
+    links_bytes_delivered =
+      acc.links_bytes_delivered + Channel.bytes_delivered ch;
   }
 
 let link_stats t =
@@ -615,6 +664,18 @@ let link_stats t =
   | Of_plane p ->
       let acc = Array.fold_left link_add link_zero p.of_ctrl_up in
       Array.fold_left link_add acc p.of_ctrl_down
+
+(* Bytes sent on the controller-facing channels only — by construction
+   equal to the recorder's [total_ctrl_bytes] and the tracer's
+   [ctrl_bytes] (the wire hook fires exactly when these counters grow);
+   the cross-check test pins the equality. *)
+let ctrl_bytes_sent t =
+  let sum acc arr =
+    Array.fold_left (fun acc ch -> acc + Channel.bytes_sent ch) acc arr
+  in
+  match t.plane with
+  | Lazy_plane p -> sum (sum 0 p.ctrl_up) p.ctrl_down
+  | Of_plane p -> sum (sum 0 p.of_ctrl_up) p.of_ctrl_down
 
 let reliability_stats t =
   match t.plane with

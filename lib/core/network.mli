@@ -135,10 +135,19 @@ type link_totals = {
   links_dropped : int;      (** dropped because the channel was down *)
   links_lost : int;         (** dropped by the random loss model *)
   links_duplicated : int;
+  links_bytes_sent : int;
+      (** encoded frame bytes offered, all channels (DESIGN.md §13) *)
+  links_bytes_delivered : int;  (** frame bytes actually delivered *)
 }
 
 val link_stats : t -> link_totals
 (** Totals over all control and peer channels. *)
+
+val ctrl_bytes_sent : t -> int
+(** Encoded bytes offered on the controller-facing channels only (both
+    directions, either plane) — the control-channel load behind the
+    bytes/sec series.  Equals the recorder's [total_ctrl_bytes] and the
+    tracer's [ctrl_bytes] exactly, by construction. *)
 
 val reliability_stats : t -> Lazyctrl_openflow.Reliable.stats
 (** Aggregate over every reliable session in the network — controller-side

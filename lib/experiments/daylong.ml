@@ -123,6 +123,34 @@ let fig7_table ?seed ?n_flows () =
   done;
   tbl
 
+(* Fig. 7 in real units: the codec prices every control message, so the
+   same five runs can report controller load as bytes/sec on the wire
+   (EXPERIMENTS.md "Fig. 7 in real units"). *)
+let fig7_bytes_table ?seed ?n_flows () =
+  let runs = List.map (fun c -> run ?seed ?n_flows c) all_configs in
+  let tbl =
+    Table.create
+      ("Time (hour)" :: List.map (fun r -> config_label r.name) runs)
+  in
+  let any = List.hd runs in
+  for b = 0 to Recorder.n_buckets any.recorder - 1 do
+    Table.add_row tbl
+      (Recorder.bucket_label any.recorder b
+      :: List.map
+           (fun r ->
+             Table.cell_float ~decimals:1
+               (Recorder.ctrl_bytes_per_sec r.recorder).(b))
+           runs)
+  done;
+  tbl
+
+let ctrl_bytes_reduction ?seed ?n_flows () =
+  let of_run = run ?seed ?n_flows Openflow_real in
+  let lazy_run = run ?seed ?n_flows Lazy_real_dynamic in
+  let of_b = Float.of_int (Recorder.total_ctrl_bytes of_run.recorder) in
+  let lz_b = Float.of_int (Recorder.total_ctrl_bytes lazy_run.recorder) in
+  if of_b <= 0.0 then 0.0 else 1.0 -. (lz_b /. of_b)
+
 let fig8_table ?seed ?n_flows () =
   let real = run ?seed ?n_flows Lazy_real_dynamic in
   let expanded = run ?seed ?n_flows Lazy_expanded_dynamic in

@@ -42,6 +42,15 @@ val fig7_table : ?seed:int -> ?n_flows:int -> unit -> Lazyctrl_util.Table.t
 (** Controller workload (requests/s) per 2-hour bucket for all five
     configurations. *)
 
+val fig7_bytes_table : ?seed:int -> ?n_flows:int -> unit -> Lazyctrl_util.Table.t
+(** Fig. 7 re-cast in real units: control-channel load in bytes/sec per
+    2-hour bucket for all five configurations, as priced by the binary
+    wire codec (DESIGN.md §13). *)
+
+val ctrl_bytes_reduction : ?seed:int -> ?n_flows:int -> unit -> float
+(** Overall reduction of control-channel bytes, LazyCtrl (real, dynamic)
+    vs OpenFlow — the byte-level counterpart of {!workload_reduction}. *)
+
 val fig8_table : ?seed:int -> ?n_flows:int -> unit -> Lazyctrl_util.Table.t
 (** Grouping updates per hour, real vs expanded (dynamic runs). *)
 

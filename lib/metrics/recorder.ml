@@ -5,12 +5,14 @@ type t = {
   engine : Engine.t;
   bucket : Time.t;
   workload : Stats.Timeseries.t;
+  ctrl_bytes : Stats.Timeseries.t;    (* control-channel bytes *)
   latency : Stats.Timeseries.t;       (* all packets, ms *)
   first_latency : Stats.Timeseries.t; (* first packets only, ms *)
   updates : Stats.Timeseries.t;       (* hourly *)
   first_summary : Stats.Online.t;
   mutable requests : int;
   mutable update_count : int;
+  mutable ctrl_bytes_total : int;
 }
 
 let create engine ~horizon ?(bucket = Time.of_hour 2) () =
@@ -29,6 +31,7 @@ let create engine ~horizon ?(bucket = Time.of_hour 2) () =
     engine;
     bucket;
     workload = series ();
+    ctrl_bytes = series ();
     latency = series ();
     first_latency = series ();
     updates =
@@ -38,6 +41,7 @@ let create engine ~horizon ?(bucket = Time.of_hour 2) () =
     first_summary = Stats.Online.create ();
     requests = 0;
     update_count = 0;
+    ctrl_bytes_total = 0;
   }
 
 let now_s t = Time.to_float_sec (Engine.now t.engine)
@@ -45,6 +49,10 @@ let now_s t = Time.to_float_sec (Engine.now t.engine)
 let on_controller_request t =
   t.requests <- t.requests + 1;
   Stats.Timeseries.record t.workload ~time:(now_s t) 1.0
+
+let on_control_bytes t n =
+  t.ctrl_bytes_total <- t.ctrl_bytes_total + n;
+  Stats.Timeseries.record t.ctrl_bytes ~time:(now_s t) (Float.of_int n)
 
 let on_grouping_update t =
   t.update_count <- t.update_count + 1;
@@ -60,6 +68,14 @@ let record_fast_path_latency t ~n lat =
   Stats.Timeseries.record_n t.latency ~time:(now_s t) ~n (Time.to_float_ms lat)
 
 let workload_rps t = Stats.Timeseries.rates t.workload
+
+(* [rates] divides message *counts* by the width; bytes need the bucket
+   *sums* divided by the width. *)
+let ctrl_bytes_per_sec t =
+  let w = Time.to_float_sec t.bucket in
+  Array.map (fun s -> s /. w) (Stats.Timeseries.sums t.ctrl_bytes)
+
+let total_ctrl_bytes t = t.ctrl_bytes_total
 let latency_ms_series t = Stats.Timeseries.means t.latency
 let first_latency_ms_series t = Stats.Timeseries.means t.first_latency
 

@@ -17,6 +17,13 @@ val create : Engine.t -> horizon:Time.t -> ?bucket:Time.t -> unit -> t
 val on_controller_request : t -> unit
 val on_grouping_update : t -> unit
 
+val on_control_bytes : t -> int -> unit
+(** Charge [n] bytes of control-channel load to the current bucket.  Fed
+    by {!Lazyctrl_openflow.Channel.set_wire_hook} on the
+    controller-facing channels, one call per encoded send, so
+    {!total_ctrl_bytes} equals the sum of those channels' [bytes_sent]
+    counters exactly (DESIGN.md §13). *)
+
 val record_first_packet_latency : t -> Time.t -> unit
 (** First packet of a flow, end-to-end host-to-host. *)
 
@@ -30,6 +37,13 @@ val record_fast_path_latency : t -> n:int -> Time.t -> unit
 
 val workload_rps : t -> float array
 (** Requests per second of simulated time, per bucket. *)
+
+val ctrl_bytes_per_sec : t -> float array
+(** Control-channel load in bytes per second of simulated time, per
+    bucket — the real-units recast of the Fig. 7 series. *)
+
+val total_ctrl_bytes : t -> int
+(** Cumulative control-channel bytes across the whole run. *)
 
 val latency_ms_series : t -> float array
 (** Mean forwarding latency (ms) over all packets, per bucket. *)

@@ -248,6 +248,19 @@ let read_eth r =
   in
   { dst; src; vlan; payload }
 
+let eth_encoded_size e =
+  eth_header_size e + (match e.payload with Arp _ -> 21 | Ipv4 _ -> 17)
+
+let write_eth_to buf ~pos e =
+  let w = { Writer.buf; pos } in
+  write_eth w e;
+  w.Writer.pos
+
+let read_eth_from buf ~pos =
+  let r = { Reader.buf; pos } in
+  let e = read_eth r in
+  (e, r.Reader.pos)
+
 let of_bytes buf =
   let r = { Reader.buf; pos = 0 } in
   if Bytes.length buf >= 2 && Bytes.get_uint16_be buf 0 = encap_marker then begin

@@ -75,5 +75,21 @@ val of_bytes : bytes -> t
 (** Inverse of {!to_bytes}.
     @raise Invalid_argument on truncated or malformed input. *)
 
+val eth_encoded_size : eth -> int
+(** Exact number of bytes {!write_eth_to} emits for this frame (headers
+    plus the fixed ARP/IPv4 body; the IPv4 payload is represented by its
+    length field). *)
+
+val write_eth_to : bytes -> pos:int -> eth -> int
+(** Write the header-only encoding of a bare Ethernet frame into a caller
+    buffer at [pos]; returns the position one past the last byte written
+    (always [pos + eth_encoded_size e]). Lets framing layers embed frames
+    without an intermediate [Bytes.sub]. *)
+
+val read_eth_from : bytes -> pos:int -> eth * int
+(** Inverse of {!write_eth_to}: parse one bare Ethernet frame starting at
+    [pos]; returns the frame and the position one past it.
+    @raise Invalid_argument on truncated or malformed input. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+open Lazyctrl_sim
+open Lazyctrl_net
+
+type slot = { id : int; packet : Packet.t; deadline : Time.t }
+
+type t = {
+  slots : slot option array;
+  ttl : Time.t;
+  mutable next_id : int;
+  mutable s_stored : int;
+  mutable s_full_fallbacks : int;
+  mutable s_released : int;
+  mutable s_expired : int;
+  mutable s_misses : int;
+}
+
+type stats = {
+  stored : int;
+  full_fallbacks : int;
+  released : int;
+  expired : int;
+  misses : int;
+}
+
+let create ?(capacity = 64) ~ttl () =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity";
+  {
+    slots = Array.make capacity None;
+    ttl;
+    next_id = 0;
+    s_stored = 0;
+    s_full_fallbacks = 0;
+    s_released = 0;
+    s_expired = 0;
+    s_misses = 0;
+  }
+
+let expired ~now slot = Time.(slot.deadline < now)
+
+let store t ~now packet =
+  (* Linear scan for a free (or reclaimable) slot: the pool is small and
+     store runs on the punt path, which is a declared cold boundary. *)
+  let n = Array.length t.slots in
+  let found = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < n do
+    (match t.slots.(!i) with
+    | None -> found := !i
+    | Some s when expired ~now s ->
+        t.s_expired <- t.s_expired + 1;
+        t.slots.(!i) <- None;
+        found := !i
+    | Some _ -> ());
+    incr i
+  done;
+  if !found < 0 then begin
+    t.s_full_fallbacks <- t.s_full_fallbacks + 1;
+    None
+  end
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.slots.(!found) <- Some { id; packet; deadline = Time.add now t.ttl };
+    t.s_stored <- t.s_stored + 1;
+    Some id
+  end
+
+let take t ~now id =
+  let n = Array.length t.slots in
+  let result = ref None in
+  let hit = ref false in
+  for i = 0 to n - 1 do
+    match t.slots.(i) with
+    | Some s when Int.equal s.id id ->
+        t.slots.(i) <- None;
+        hit := true;
+        if expired ~now s then t.s_expired <- t.s_expired + 1
+        else begin
+          t.s_released <- t.s_released + 1;
+          result := Some s.packet
+        end
+    | _ -> ()
+  done;
+  if not !hit then t.s_misses <- t.s_misses + 1
+  else if Option.is_none !result then t.s_misses <- t.s_misses + 1;
+  !result
+
+let cancel t id =
+  Array.iteri
+    (fun i -> function
+      | Some s when Int.equal s.id id ->
+          t.slots.(i) <- None;
+          t.s_stored <- t.s_stored - 1
+      | _ -> ())
+    t.slots
+
+let clear t = Array.fill t.slots 0 (Array.length t.slots) None
+
+let in_use t ~now =
+  Array.fold_left
+    (fun acc -> function
+      | Some s when not (expired ~now s) -> acc + 1
+      | _ -> acc)
+    0 t.slots
+
+let stats t =
+  {
+    stored = t.s_stored;
+    full_fallbacks = t.s_full_fallbacks;
+    released = t.s_released;
+    expired = t.s_expired;
+    misses = t.s_misses;
+  }

@@ -1,0 +1,51 @@
+(** Switch-side packet buffers backing [Packet_in] buffer ids.
+
+    A bounded pool of parked packets, modelling the shared packet buffer
+    of an OpenFlow switch: on a table miss the datapath parks the packet
+    here and punts only the headers plus the slot's buffer id; the
+    controller's [Buffer_out] (or [Flow_mod] + [Buffer_out]) releases it.
+    Slots age out after [ttl] so a controller that never answers (e.g. a
+    flood resolved elsewhere) cannot leak slots; a full pool falls back to
+    an unbuffered full-packet punt, never to packet loss. The buffering
+    state machine is specified in DESIGN.md §13. *)
+
+open Lazyctrl_sim
+open Lazyctrl_net
+
+type t
+
+type stats = {
+  stored : int;  (** packets parked *)
+  full_fallbacks : int;  (** stores refused because every slot was live *)
+  released : int;  (** packets consumed by a [Buffer_out] *)
+  expired : int;  (** slots reclaimed by ttl before any release *)
+  misses : int;  (** releases of an unknown (or already aged-out) id *)
+}
+
+val create : ?capacity:int -> ttl:Time.t -> unit -> t
+(** Default capacity 64 slots, like a small hardware packet buffer. *)
+
+val store : t -> now:Time.t -> Packet.t -> int option
+(** Park a packet; [None] when all slots hold live packets (the caller
+    then punts the full packet with [Message.no_buffer]). Buffer ids are
+    unique over a pool's lifetime, so a stale id can never release a
+    recycled slot. *)
+
+val take : t -> now:Time.t -> int -> Packet.t option
+(** Consume the packet parked under an id; [None] (counted as a miss) for
+    unknown, expired, or already-released ids. *)
+
+val cancel : t -> int -> unit
+(** Forget a parked packet whose punt never reached the wire (dead
+    control link): the slot frees and [stored] is adjusted back down, so
+    [stored] counts only buffer ids actually announced to the
+    controller. Unknown ids are ignored. *)
+
+val clear : t -> unit
+(** Drop every parked packet (switch power-off: the buffer memory is
+    volatile). Counters survive; occupancy does not. *)
+
+val in_use : t -> now:Time.t -> int
+(** Live (unexpired) occupied slots. *)
+
+val stats : t -> stats

@@ -40,11 +40,18 @@ type 'msg t = {
   mutable epoch : int; (* bumped on [fail]; in-flight messages of older epochs die *)
   mutable last_delivery : Time.t;
   mutable loss : loss_state option;
+  (* Binary codec: when set, every send is encoded to a frame and the
+     delivered value is reconstructed from those bytes, so the channel
+     carries — and counts — real bytes (DESIGN.md §13). *)
+  mutable codec : (('msg -> bytes) * (bytes -> 'msg)) option;
+  mutable on_wire : (int -> unit) option;
   mutable n_sent : int;
   mutable n_delivered : int;
   mutable n_dropped : int;
   mutable n_lost : int;
   mutable n_duplicated : int;
+  mutable n_bytes_sent : int;
+  mutable n_bytes_delivered : int;
 }
 
 let create ?(strict = false) engine ~latency ?jitter ~name () =
@@ -59,11 +66,15 @@ let create ?(strict = false) engine ~latency ?jitter ~name () =
     epoch = 0;
     last_delivery = Time.zero;
     loss = None;
+    codec = None;
+    on_wire = None;
     n_sent = 0;
     n_delivered = 0;
     n_dropped = 0;
     n_lost = 0;
     n_duplicated = 0;
+    n_bytes_sent = 0;
+    n_bytes_delivered = 0;
   }
 
 let name t = t.chan_name
@@ -73,6 +84,10 @@ let set_receiver t f = t.receiver <- Some f
 let set_loss t ~rng spec = t.loss <- Some { rng; spec; bad = false }
 let clear_loss t = t.loss <- None
 let loss_active t = Option.is_some t.loss
+
+let set_codec t ~encode ~decode = t.codec <- Some (encode, decode)
+let codec_active t = Option.is_some t.codec
+let set_wire_hook t f = t.on_wire <- Some f
 
 (* How many copies of this message reach the wire: 0 (lost), 1, or 2
    (duplicated).  Exactly three draws are consumed per send whenever a
@@ -94,7 +109,7 @@ let wire_copies t =
       else if u_dup < ls.spec.p_duplicate then 2
       else 1
 
-let schedule_delivery t msg =
+let schedule_delivery t ~nbytes msg =
   let delay =
     match t.jitter with
     | None -> t.latency
@@ -112,6 +127,7 @@ let schedule_delivery t msg =
            match t.receiver with
            | Some f ->
                t.n_delivered <- t.n_delivered + 1;
+               t.n_bytes_delivered <- t.n_bytes_delivered + nbytes;
                f msg
            | None ->
                if t.strict then
@@ -130,13 +146,26 @@ let send t msg =
   end
   else begin
     t.n_sent <- t.n_sent + 1;
+    (* With a codec attached the message is marshalled exactly once and
+       the delivered value is rebuilt from the frame, so what crosses the
+       channel is bytes; duplicates re-deliver the same frame's worth. *)
+    let nbytes, msg =
+      match t.codec with
+      | None -> (0, msg)
+      | Some (enc, dec) ->
+          let frame = enc msg in
+          let n = Bytes.length frame in
+          t.n_bytes_sent <- t.n_bytes_sent + n;
+          (match t.on_wire with Some f -> f n | None -> ());
+          (n, dec frame)
+    in
     (match wire_copies t with
     | 0 -> t.n_lost <- t.n_lost + 1
-    | 1 -> schedule_delivery t msg
+    | 1 -> schedule_delivery t ~nbytes msg
     | _ ->
         t.n_duplicated <- t.n_duplicated + 1;
-        schedule_delivery t msg;
-        schedule_delivery t msg);
+        schedule_delivery t ~nbytes msg;
+        schedule_delivery t ~nbytes msg);
     (* Random loss is invisible to the sender, like a real wire: only a
        downed channel reports failure. *)
     true
@@ -152,6 +181,8 @@ let repair t = t.up <- true
 
 let is_up t = t.up
 let sent t = t.n_sent
+let bytes_sent t = t.n_bytes_sent
+let bytes_delivered t = t.n_bytes_delivered
 let delivered t = t.n_delivered
 let dropped t = t.n_dropped
 let lost t = t.n_lost

@@ -62,6 +62,24 @@ val set_loss : 'msg t -> rng:Prng.t -> loss_spec -> unit
 val clear_loss : 'msg t -> unit
 val loss_active : 'msg t -> bool
 
+val set_codec :
+  'msg t -> encode:('msg -> bytes) -> decode:(bytes -> 'msg) -> unit
+(** Attach a binary codec (normally [Lazyctrl_wire.Wire]): every
+    subsequent send is encoded to one frame, the frame's length is added
+    to {!bytes_sent} (and reported to the {!set_wire_hook} tap), and the
+    value handed to the receiver is reconstructed by [decode] from those
+    bytes — so the channel genuinely carries bytes and any codec
+    infidelity is observable as a behavioral change. Loss-model draw
+    alignment, FIFO order and epochs are unaffected. *)
+
+val codec_active : 'msg t -> bool
+
+val set_wire_hook : 'msg t -> (int -> unit) -> unit
+(** Called with the frame length, once per encoded send (not per
+    duplicate), at the instant {!bytes_sent} grows — the tap the tracer
+    and the metrics recorder hang off, which keeps their byte totals
+    equal to the channel counters by construction. *)
+
 val send : 'msg t -> 'msg -> bool
 (** Enqueue for delivery after the channel latency; [false] (and a drop)
     when the channel is down. Random loss/duplication by the loss model is
@@ -75,6 +93,15 @@ val is_up : 'msg t -> bool
 
 val sent : 'msg t -> int
 val delivered : 'msg t -> int
+
+val bytes_sent : 'msg t -> int
+(** Total encoded frame bytes accepted for transmission (0 until a codec
+    is attached). Loss eats copies after this count, like a real NIC
+    counter on the sending side. *)
+
+val bytes_delivered : 'msg t -> int
+(** Total frame bytes of messages actually handed to the receiver,
+    counting duplicated deliveries twice. *)
 
 val dropped : 'msg t -> int
 (** Messages killed because the channel was down (at send or delivery

@@ -4,12 +4,15 @@ type reason = No_match | Action_punt
 
 type flow_mod = Add of Flow_table.entry | Delete of Ofmatch.t
 
+let no_buffer = -1
+
 type 'ext t =
   | Hello
   | Echo_request of int
   | Echo_reply of int
-  | Packet_in of { packet : Packet.t; reason : reason }
+  | Packet_in of { packet : Packet.t; reason : reason; buffer_id : int }
   | Packet_out of { packet : Packet.t; actions : Action.t list }
+  | Buffer_out of { buffer_id : int; actions : Action.t list }
   | Flow_mod of flow_mod
   | Extension of 'ext
 
@@ -18,9 +21,17 @@ let is_packet_in = function Packet_in _ -> true | _ -> false
 let size_estimate ext_size = function
   | Hello -> 8
   | Echo_request _ | Echo_reply _ -> 12
-  | Packet_in { packet; _ } -> 18 + Packet.size_on_wire packet
+  | Packet_in { packet; buffer_id; _ } ->
+      (* A buffered punt carries only the headers; the payload stays in
+         the switch's buffer pool under [buffer_id]. *)
+      if buffer_id = no_buffer then 18 + Packet.size_on_wire packet
+      else 18 + Packet.size_on_wire packet
+           - (match (Packet.eth_of packet).payload with
+             | Packet.Ipv4 p -> p.length
+             | Packet.Arp _ -> 0)
   | Packet_out { packet; actions } ->
       16 + Packet.size_on_wire packet + (8 * List.length actions)
+  | Buffer_out { actions; _ } -> 16 + (8 * List.length actions)
   | Flow_mod (Add e) -> 72 + (8 * List.length e.actions)
   | Flow_mod (Delete _) -> 72
   | Extension e -> 16 + ext_size e
@@ -29,11 +40,16 @@ let pp pp_ext fmt = function
   | Hello -> Format.pp_print_string fmt "hello"
   | Echo_request n -> Format.fprintf fmt "echo_request(%d)" n
   | Echo_reply n -> Format.fprintf fmt "echo_reply(%d)" n
-  | Packet_in { packet; reason } ->
-      Format.fprintf fmt "packet_in(%s,%a)"
+  | Packet_in { packet; reason; buffer_id } ->
+      Format.fprintf fmt "packet_in(%s,%s%a)"
         (match reason with No_match -> "no_match" | Action_punt -> "punt")
+        (if buffer_id = no_buffer then ""
+         else Printf.sprintf "buf=%d," buffer_id)
         Packet.pp packet
   | Packet_out { packet; _ } -> Format.fprintf fmt "packet_out(%a)" Packet.pp packet
+  | Buffer_out { buffer_id; actions } ->
+      Format.fprintf fmt "buffer_out(buf=%d,|actions|=%d)" buffer_id
+        (List.length actions)
   | Flow_mod (Add e) -> Format.fprintf fmt "flow_mod+(%a)" Ofmatch.pp e.ofmatch
   | Flow_mod (Delete m) -> Format.fprintf fmt "flow_mod-(%a)" Ofmatch.pp m
   | Extension e -> Format.fprintf fmt "ext(%a)" pp_ext e

@@ -17,12 +17,26 @@ type flow_mod =
   | Delete of Ofmatch.t
       (** OpenFlow delete: removes entries subsumed by the match. *)
 
+val no_buffer : int
+(** The sentinel [buffer_id] ([-1], OpenFlow's [OFP_NO_BUFFER]) marking a
+    [Packet_in] that carries the whole packet because the switch did not
+    (or could not) buffer it. *)
+
 type 'ext t =
   | Hello
   | Echo_request of int
   | Echo_reply of int
-  | Packet_in of { packet : Packet.t; reason : reason }
+  | Packet_in of { packet : Packet.t; reason : reason; buffer_id : int }
+      (** When [buffer_id <> no_buffer] the switch holds the packet in its
+          buffer pool and only the headers cross the wire; the controller
+          releases the buffered packet with {!Buffer_out} (or lets the
+          buffer age out). See DESIGN.md §13. *)
   | Packet_out of { packet : Packet.t; actions : Action.t list }
+  | Buffer_out of { buffer_id : int; actions : Action.t list }
+      (** Apply [actions] to the packet parked under [buffer_id] on the
+          receiving switch — the buffered counterpart of [Packet_out]
+          (OpenFlow's [PacketOut] with a buffer id instead of inline
+          bytes). Unknown or expired ids are counted and dropped. *)
   | Flow_mod of flow_mod
   | Extension of 'ext
 
@@ -30,6 +44,7 @@ val is_packet_in : 'ext t -> bool
 
 val size_estimate : ('ext -> int) -> 'ext t -> int
 (** Approximate wire size in bytes, for control-channel bandwidth
-    accounting; the argument sizes extension payloads. *)
+    accounting; the argument sizes extension payloads. The exact
+    byte-level frame size lives in [Lazyctrl_wire.Wire.message_size]. *)
 
 val pp : (Format.formatter -> 'ext -> unit) -> Format.formatter -> 'ext t -> unit

@@ -30,6 +30,7 @@ type stats = {
   tail_dropped : int;
   give_ups : int;
   violations : int;
+  payload_bytes : int;
 }
 
 let stats_zero =
@@ -43,6 +44,7 @@ let stats_zero =
     tail_dropped = 0;
     give_ups = 0;
     violations = 0;
+    payload_bytes = 0;
   }
 
 let stats_add a b =
@@ -56,6 +58,7 @@ let stats_add a b =
     tail_dropped = a.tail_dropped + b.tail_dropped;
     give_ups = a.give_ups + b.give_ups;
     violations = a.violations + b.violations;
+    payload_bytes = a.payload_bytes + b.payload_bytes;
   }
 
 type 'a t = {
@@ -65,6 +68,7 @@ type 'a t = {
   jitter_rng : Prng.t option;
   send_data : epoch:int -> seq:int -> 'a -> unit;
   send_ack : epoch:int -> cum:int -> unit;
+  payload_bytes : ('a -> int) option;
   ep_name : string;
   (* --- sender --- *)
   mutable epoch : int;
@@ -89,10 +93,11 @@ type 'a t = {
   mutable s_tail_dropped : int;
   mutable s_give_ups : int;
   mutable s_violations : int;
+  mutable s_payload_bytes : int;
 }
 
-let create ?(tracer = Lazyctrl_trace.Tracer.disabled) ?rng engine config
-    ~send_data ~send_ack ~name () =
+let create ?(tracer = Lazyctrl_trace.Tracer.disabled) ?rng ?payload_bytes
+    engine config ~send_data ~send_ack ~name () =
   {
     engine;
     config;
@@ -103,6 +108,7 @@ let create ?(tracer = Lazyctrl_trace.Tracer.disabled) ?rng engine config
     jitter_rng = Option.map (fun r -> Prng.named r ("rto:" ^ name)) rng;
     send_data;
     send_ack;
+    payload_bytes;
     ep_name = name;
     epoch = 0;
     next_seq = 0;
@@ -124,10 +130,16 @@ let create ?(tracer = Lazyctrl_trace.Tracer.disabled) ?rng engine config
     s_tail_dropped = 0;
     s_give_ups = 0;
     s_violations = 0;
+    s_payload_bytes = 0;
   }
 
 let name t = t.ep_name
 let in_flight t = Queue.length t.unacked
+
+let count_payload t payload =
+  match t.payload_bytes with
+  | Some f -> t.s_payload_bytes <- t.s_payload_bytes + f payload
+  | None -> ()
 let epoch t = t.epoch
 let has_given_up t = t.gave_up
 
@@ -181,7 +193,9 @@ and on_timeout t =
         Lazyctrl_trace.Tracer.emit t.tracer ~now:(Engine.now t.engine)
           (Lazyctrl_trace.Event.Retransmit t.ep_name);
       Queue.iter
-        (fun (seq, payload) -> t.send_data ~epoch:t.epoch ~seq payload)
+        (fun (seq, payload) ->
+          count_payload t payload;
+          t.send_data ~epoch:t.epoch ~seq payload)
         t.unacked;
       t.rto <- Time.min (Time.scale t.rto t.config.backoff) t.config.rto_max;
       arm t
@@ -197,6 +211,7 @@ let send t payload =
     t.next_seq <- seq + 1;
     Queue.push (seq, payload) t.unacked;
     t.s_data_sent <- t.s_data_sent + 1;
+    count_payload t payload;
     t.send_data ~epoch:t.epoch ~seq payload;
     (* Fresh data revives a session that had given up; the link may be
        back and the retransmit timer should probe again. *)
@@ -294,4 +309,5 @@ let stats t =
     tail_dropped = t.s_tail_dropped;
     give_ups = t.s_give_ups;
     violations = t.s_violations;
+    payload_bytes = t.s_payload_bytes;
   }

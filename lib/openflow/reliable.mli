@@ -41,6 +41,12 @@ type stats = {
   tail_dropped : int;  (** sends refused because the window was full *)
   give_ups : int;  (** retransmission abandonments after [max_retries] *)
   violations : int;  (** exactly-once/in-order self-audit failures; 0 always *)
+  payload_bytes : int;
+      (** wire bytes of every payload handed to [send_data] — first
+          transmissions {e and} go-back-N retransmissions — as sized by
+          [create]'s [payload_bytes] callback; 0 without one. The
+          reliability tax in the same real units as the channel byte
+          counters (DESIGN.md §13). *)
 }
 
 val stats_zero : stats
@@ -51,6 +57,7 @@ type 'a t
 val create :
   ?tracer:Lazyctrl_trace.Tracer.t ->
   ?rng:Lazyctrl_util.Prng.t ->
+  ?payload_bytes:('a -> int) ->
   Engine.t ->
   config ->
   send_data:(epoch:int -> seq:int -> 'a -> unit) ->
@@ -63,7 +70,10 @@ val create :
     [tracer] (default disabled) records retransmits and give-ups as
     flight-recorder events.  [rng] seeds the retransmission-jitter
     stream (derived by name, so the caller's stream is untouched);
-    without it timeouts fire at the exact backoff schedule. *)
+    without it timeouts fire at the exact backoff schedule.
+    [payload_bytes] sizes payloads for the [stats.payload_bytes]
+    counter (typically [Wire.message_size]); omitted, byte accounting
+    is off. *)
 
 val name : 'a t -> string
 

@@ -5,8 +5,13 @@ module Det = Lazyctrl_util.Det
 module Prng = Lazyctrl_util.Prng
 module Tracer = Lazyctrl_trace.Tracer
 module Tev = Lazyctrl_trace.Event
+module Wire = Lazyctrl_wire.Wire
 
 type msg = Proto.t Message.t
+
+(* Exact §13 wire size of a reliable payload — the retransmission tax in
+   the same real units as the channel byte counters. *)
+let payload_wire_size (m : msg) = Wire.message_size Proto.wire_ext m
 
 type env = {
   engine : Engine.t;
@@ -25,6 +30,8 @@ type config = {
   reliable_state : bool;
   retrans : Reliable.config;
   miss_buffer_capacity : int;
+  buffer_pool_capacity : int;
+  buffer_ttl : Time.t;
 }
 
 let default_config =
@@ -36,6 +43,8 @@ let default_config =
     reliable_state = true;
     retrans = Reliable.default_config;
     miss_buffer_capacity = 128;
+    buffer_pool_capacity = 64;
+    buffer_ttl = Time.of_sec 1;
   }
 
 type stats = {
@@ -89,6 +98,8 @@ type t = {
   mutable ctrl_suspect : bool; (* a control-link send failed; re-sync on reconnect *)
   miss_buffer : (Packet.t * Message.reason) Queue.t;
       (* inter-group misses punted while the control link was lost *)
+  buffers : Buffer_pool.t;
+      (* parked miss packets referenced by Packet_in buffer ids *)
   (* stats *)
   mutable s_from_hosts : int;
   mutable s_delivered : int;
@@ -137,6 +148,9 @@ let create ?(tracer = Tracer.disabled) ?rng env config ~self =
     peer_sessions = Hashtbl.create 8;
     ctrl_suspect = false;
     miss_buffer = Queue.create ();
+    buffers =
+      Buffer_pool.create ~capacity:config.buffer_pool_capacity
+        ~ttl:config.buffer_ttl ();
     s_from_hosts = 0;
     s_delivered = 0;
     s_encap = 0;
@@ -208,7 +222,8 @@ let ctrl_session t =
   | Some s -> s
   | None ->
       let s =
-        Reliable.create ~tracer:t.tracer ?rng:t.rng t.env.engine t.config.retrans
+        Reliable.create ~tracer:t.tracer ?rng:t.rng
+          ~payload_bytes:payload_wire_size t.env.engine t.config.retrans
           ~send_data:(fun ~epoch ~seq payload ->
             send_controller t (Message.Extension (Proto.Seq { epoch; seq; payload })))
           ~send_ack:(fun ~epoch ~cum ->
@@ -225,7 +240,8 @@ let peer_session t sid =
   | Some s -> s
   | None ->
       let s =
-        Reliable.create ~tracer:t.tracer ?rng:t.rng t.env.engine t.config.retrans
+        Reliable.create ~tracer:t.tracer ?rng:t.rng
+          ~payload_bytes:payload_wire_size t.env.engine t.config.retrans
           ~send_data:(fun ~epoch ~seq payload ->
             t.env.send_peer sid
               (Message.Extension (Proto.Seq { epoch; seq; payload })))
@@ -283,16 +299,26 @@ let punt t packet reason =
          (match reason with
          | Message.No_match -> "no_match"
          | Message.Action_punt -> "action_punt"));
-  if not (raw_send_controller t (Message.Packet_in { packet; reason })) then
+  (* Park the packet and punt a truncated header + buffer id; a full pool
+     falls back to an unbuffered full-packet punt (DESIGN.md §13). *)
+  let buffer_id =
+    match Buffer_pool.store t.buffers ~now:(now t) packet with
+    | Some id -> id
+    | None -> Message.no_buffer
+  in
+  if not (raw_send_controller t (Message.Packet_in { packet; reason; buffer_id }))
+  then begin
     (* Graceful degradation: the controller is unreachable, so the miss
        cannot be resolved now. Intra-group traffic keeps flowing from the
        G-FIB; inter-group misses wait in a bounded queue and are replayed
        on reconnect (overflow falls back to the pre-buffering behaviour:
        the packet is dropped and the flow's first packet is lost). *)
+    if buffer_id <> Message.no_buffer then Buffer_pool.cancel t.buffers buffer_id;
     if Queue.length t.miss_buffer < t.config.miss_buffer_capacity then begin
       Queue.push (packet, reason) t.miss_buffer;
       t.s_miss_buffered <- t.s_miss_buffered + 1
     end
+  end
 
 (* --- designated-switch duties ------------------------------------------- *)
 
@@ -723,7 +749,8 @@ let rehome t ~term =
     for _ = 1 to n do
       let packet, reason = Queue.pop t.miss_buffer in
       t.s_miss_replayed <- t.s_miss_replayed + 1;
-      send_controller t (Message.Packet_in { packet; reason })
+      send_controller t
+        (Message.Packet_in { packet; reason; buffer_id = Message.no_buffer })
     done
   end
 
@@ -765,7 +792,8 @@ let reconnect t =
   for _ = 1 to n do
     let packet, reason = Queue.pop t.miss_buffer in
     t.s_miss_replayed <- t.s_miss_replayed + 1;
-    send_controller t (Message.Packet_in { packet; reason })
+    send_controller t
+      (Message.Packet_in { packet; reason; buffer_id = Message.no_buffer })
   done;
   ignore (Lfib.take_pending t.lfib);
   let d =
@@ -789,6 +817,12 @@ let rec handle_controller_message t msg =
     | Message.Flow_mod (Message.Delete m) ->
         ignore (Flow_table.remove_matching t.table m)
     | Message.Packet_out { packet; actions } -> apply_actions t packet actions
+    | Message.Buffer_out { buffer_id; actions } -> (
+        (* Release a parked miss; unknown/expired ids were already counted
+           by the pool and the packet is simply gone (aged out). *)
+        match Buffer_pool.take t.buffers ~now:(now t) buffer_id with
+        | Some packet -> apply_actions t packet actions
+        | None -> ())
     | Message.Echo_request n -> send_controller t (Message.Echo_reply n)
     | Message.Echo_reply _ | Message.Hello | Message.Packet_in _ -> ()
     | Message.Extension (Proto.Seq { epoch; seq; payload }) ->
@@ -840,7 +874,8 @@ let rec handle_peer_message t ~from msg =
         | Proto.Rehome _ ->
             ())
     | Message.Hello | Message.Echo_request _ | Message.Echo_reply _
-    | Message.Packet_in _ | Message.Packet_out _ | Message.Flow_mod _ ->
+    | Message.Packet_in _ | Message.Packet_out _ | Message.Buffer_out _
+    | Message.Flow_mod _ ->
         ()
   end
 
@@ -861,6 +896,7 @@ let set_up t up =
     t.ctrl_suspect <- false;
     t.master_term <- 0;
     Queue.clear t.miss_buffer;
+    Buffer_pool.clear t.buffers;
     (match t.ctrl_session with Some s -> Reliable.reset s | None -> ());
     Det.iter_sorted ~cmp:Int.compare
       (fun _ s -> Reliable.reset s)
@@ -903,6 +939,7 @@ let stats t =
 
 let control_link_suspect t = t.ctrl_suspect
 let misses_pending t = Queue.length t.miss_buffer
+let buffer_stats t = Buffer_pool.stats t.buffers
 let master_term t = t.master_term
 
 let reliable_stats t =

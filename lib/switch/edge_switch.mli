@@ -43,6 +43,11 @@ type config = {
   miss_buffer_capacity : int;
       (** bounded queue of inter-group misses kept while the control link
           is lost, replayed on reconnect *)
+  buffer_pool_capacity : int;
+      (** slots in the {!Lazyctrl_openflow.Buffer_pool} backing buffered
+          punts; a full pool degrades to full-packet punts *)
+  buffer_ttl : Time.t;
+      (** parked packets age out after this long without a [Buffer_out] *)
 }
 
 val default_config : config
@@ -120,6 +125,9 @@ val control_link_suspect : t -> bool
 
 val misses_pending : t -> int
 (** Inter-group misses currently buffered awaiting reconnect. *)
+
+val buffer_stats : t -> Buffer_pool.stats
+(** Occupancy counters of the packet buffer pool behind buffered punts. *)
 
 val master_term : t -> int
 (** Highest {!Proto.Rehome} term accepted so far (0 before any claim, and

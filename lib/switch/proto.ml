@@ -134,6 +134,249 @@ let rec pp fmt = function
       Format.fprintf fmt "seq(e%d,#%d,%a)" epoch seq (Message.pp pp) payload
   | Ack { epoch; cum } -> Format.fprintf fmt "ack(e%d,cum=%d)" epoch cum
 
+(* --- binary codec (DESIGN.md §13) -------------------------------------
+   The extension half of the wire format: exact sizes, then writer and
+   reader over [Wire]'s positional primitives. [Relay]/[Seq] box a whole
+   ['t Message.t], so the codec recurses through [Wire.write_message] /
+   [Wire.read_message] with itself as the extension codec. *)
+
+module Wire = Lazyctrl_wire.Wire
+
+let key_wire_size = host_key_size (* 6 mac + 4 ip + 4 tenant *)
+
+let delta_wire_size (d : lfib_delta) =
+  13 + (key_wire_size * (List.length d.added + List.length d.removed))
+
+let rec wire_size = function
+  | Group_config c ->
+      33 + (4 * List.length c.members) + (4 * List.length c.backups)
+  | Group_sync { lfibs } ->
+      5
+      + List.fold_left
+          (fun acc (_, keys) -> acc + 8 + (key_wire_size * List.length keys))
+          0 lfibs
+  | Lfib_advert d -> 1 + delta_wire_size d
+  | Member_report { intensity; _ } -> 9 + (8 * List.length intensity)
+  | State_report { deltas; intensity; _ } ->
+      13
+      + List.fold_left (fun acc d -> acc + delta_wire_size d) 0 deltas
+      + (12 * List.length intensity)
+  | Group_arp { packet; _ } -> 5 + Wire.packet_size ~full:true packet
+  | Arp_broadcast { packet } -> 1 + Wire.packet_size ~full:true packet
+  | Arp_escalate { packet; _ } -> 5 + Wire.packet_size ~full:true packet
+  | False_positive _ -> 11
+  | Keepalive _ -> 5
+  | Ring_alarm _ -> 10
+  | Rehome _ -> 13
+  | Relay { boxed; _ } -> 5 + Wire.message_size wire_ext boxed
+  | Seq { payload; _ } -> 17 + Wire.message_size wire_ext payload
+  | Ack _ -> 17
+
+and to_wire w t =
+  let open Wire.W in
+  let switch s = u32 w (Ids.Switch_id.to_int s) in
+  let key k =
+    mac w k.mac;
+    ip w k.ip;
+    u32 w (Ids.Tenant_id.to_int k.tenant)
+  in
+  let delta (d : lfib_delta) =
+    switch d.origin;
+    u8 w (if d.full then 1 else 0);
+    u32 w (List.length d.added);
+    u32 w (List.length d.removed);
+    List.iter key d.added;
+    List.iter key d.removed
+  in
+  match t with
+  | Group_config c ->
+      u8 w 0;
+      u32 w (Ids.Group_id.to_int c.group);
+      switch c.designated;
+      i64 w (Time.to_ns c.sync_period);
+      i64 w (Time.to_ns c.keepalive_period);
+      u32 w (List.length c.members);
+      List.iter switch c.members;
+      u32 w (List.length c.backups);
+      List.iter switch c.backups
+  | Group_sync { lfibs } ->
+      u8 w 1;
+      u32 w (List.length lfibs);
+      List.iter
+        (fun (s, keys) ->
+          switch s;
+          u32 w (List.length keys);
+          List.iter key keys)
+        lfibs
+  | Lfib_advert d ->
+      u8 w 2;
+      delta d
+  | Member_report { origin; intensity } ->
+      u8 w 3;
+      switch origin;
+      u32 w (List.length intensity);
+      List.iter
+        (fun (s, n) ->
+          switch s;
+          u32 w n)
+        intensity
+  | State_report { group; deltas; intensity } ->
+      u8 w 4;
+      u32 w (Ids.Group_id.to_int group);
+      u32 w (List.length deltas);
+      List.iter delta deltas;
+      u32 w (List.length intensity);
+      List.iter
+        (fun (a, b, n) ->
+          switch a;
+          switch b;
+          u32 w n)
+        intensity
+  | Group_arp { origin; packet } ->
+      u8 w 5;
+      switch origin;
+      Wire.write_packet w ~full:true packet
+  | Arp_broadcast { packet } ->
+      u8 w 6;
+      Wire.write_packet w ~full:true packet
+  | Arp_escalate { origin; packet } ->
+      u8 w 7;
+      switch origin;
+      Wire.write_packet w ~full:true packet
+  | False_positive { at; dst } ->
+      u8 w 8;
+      switch at;
+      mac w dst
+  | Keepalive { from } ->
+      u8 w 9;
+      switch from
+  | Ring_alarm { observer; missing; direction } ->
+      u8 w 10;
+      switch observer;
+      switch missing;
+      u8 w (match direction with `Up -> 0 | `Down -> 1)
+  | Rehome { term; master } ->
+      u8 w 11;
+      i64 w term;
+      u32 w master
+  | Relay { origin; boxed } ->
+      u8 w 12;
+      switch origin;
+      Wire.write_message wire_ext w boxed
+  | Seq { epoch; seq; payload } ->
+      u8 w 13;
+      i64 w epoch;
+      i64 w seq;
+      Wire.write_message wire_ext w payload
+  | Ack { epoch; cum } ->
+      u8 w 14;
+      i64 w epoch;
+      i64 w cum
+
+and of_wire r =
+  let open Wire.R in
+  let switch () = Ids.Switch_id.of_int (u32 r) in
+  let key () =
+    let mac = mac r in
+    let ip = ip r in
+    let tenant = Ids.Tenant_id.of_int (u32 r) in
+    { mac; ip; tenant }
+  in
+  let keys n = List.init n (fun _ -> key ()) in
+  let delta () =
+    let origin = switch () in
+    let full = u8 r <> 0 in
+    let n_added = u32 r in
+    let n_removed = u32 r in
+    let added = keys n_added in
+    let removed = keys n_removed in
+    { origin; added; removed; full }
+  in
+  match u8 r with
+  | 0 ->
+      let group = Ids.Group_id.of_int (u32 r) in
+      let designated = switch () in
+      let sync_period = Time.of_ns (i64 r) in
+      let keepalive_period = Time.of_ns (i64 r) in
+      let members = List.init (u32 r) (fun _ -> switch ()) in
+      let backups = List.init (u32 r) (fun _ -> switch ()) in
+      Group_config
+        { group; members; designated; backups; sync_period; keepalive_period }
+  | 1 ->
+      let lfibs =
+        List.init (u32 r) (fun _ ->
+            let s = switch () in
+            let ks = keys (u32 r) in
+            (s, ks))
+      in
+      Group_sync { lfibs }
+  | 2 -> Lfib_advert (delta ())
+  | 3 ->
+      let origin = switch () in
+      let intensity =
+        List.init (u32 r) (fun _ ->
+            let s = switch () in
+            let n = u32 r in
+            (s, n))
+      in
+      Member_report { origin; intensity }
+  | 4 ->
+      let group = Ids.Group_id.of_int (u32 r) in
+      let deltas = List.init (u32 r) (fun _ -> delta ()) in
+      let intensity =
+        List.init (u32 r) (fun _ ->
+            let a = switch () in
+            let b = switch () in
+            let n = u32 r in
+            (a, b, n))
+      in
+      State_report { group; deltas; intensity }
+  | 5 ->
+      let origin = switch () in
+      let packet = Wire.read_full_packet r in
+      Group_arp { origin; packet }
+  | 6 -> Arp_broadcast { packet = Wire.read_full_packet r }
+  | 7 ->
+      let origin = switch () in
+      let packet = Wire.read_full_packet r in
+      Arp_escalate { origin; packet }
+  | 8 ->
+      let at = switch () in
+      let dst = mac r in
+      False_positive { at; dst }
+  | 9 -> Keepalive { from = switch () }
+  | 10 ->
+      let observer = switch () in
+      let missing = switch () in
+      let direction =
+        match u8 r with
+        | 0 -> `Up
+        | 1 -> `Down
+        | _ -> invalid_arg "Proto.of_wire: bad ring direction"
+      in
+      Ring_alarm { observer; missing; direction }
+  | 11 ->
+      let term = i64 r in
+      let master = u32 r in
+      Rehome { term; master }
+  | 12 ->
+      let origin = switch () in
+      let boxed = Wire.read_message wire_ext r in
+      Relay { origin; boxed }
+  | 13 ->
+      let epoch = i64 r in
+      let seq = i64 r in
+      let payload = Wire.read_message wire_ext r in
+      Seq { epoch; seq; payload }
+  | 14 ->
+      let epoch = i64 r in
+      let cum = i64 r in
+      Ack { epoch; cum }
+  | _ -> invalid_arg "Proto.of_wire: unknown extension tag"
+
+and wire_ext =
+  { Wire.ext_size = wire_size; ext_write = to_wire; ext_read = of_wire }
+
 module Ring = struct
   let neighbors ~members sw =
     let sorted = List.sort Ids.Switch_id.compare members in

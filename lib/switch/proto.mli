@@ -104,7 +104,18 @@ type t =
           [epoch] arrived ([cum = -1] when none have) *)
 
 val size_estimate : t -> int
-(** Approximate wire size for channel accounting. *)
+(** Approximate wire size for channel accounting; the byte-exact size is
+    {!wire_size}. *)
+
+val wire_size : t -> int
+(** Exact bytes {!to_wire} emits (the extension half of DESIGN.md §13). *)
+
+val to_wire : Lazyctrl_wire.Wire.W.t -> t -> unit
+val of_wire : Lazyctrl_wire.Wire.R.t -> t
+
+val wire_ext : t Lazyctrl_wire.Wire.ext
+(** The bundled codec, ready for [Wire.encode]/[Wire.decode] and
+    [Channel.set_codec] on control, state and peer links. *)
 
 val pp : Format.formatter -> t -> unit
 

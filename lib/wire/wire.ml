@@ -1,0 +1,378 @@
+open Lazyctrl_net
+open Lazyctrl_sim
+open Lazyctrl_openflow
+
+(* Frame layouts are specified in DESIGN.md §13; keep both in sync. *)
+
+let version = 1
+let header_size = 8
+
+module W = struct
+  type t = { buf : bytes; mutable pos : int }
+
+  let create size = { buf = Bytes.create size; pos = 0 }
+
+  let u8 w v =
+    Bytes.set_uint8 w.buf w.pos v;
+    w.pos <- w.pos + 1
+
+  let u16 w v =
+    if v < 0 || v > 0xffff then invalid_arg "Wire.encode: field out of u16 range";
+    Bytes.set_uint16_be w.buf w.pos v;
+    w.pos <- w.pos + 2
+
+  let u32 w v =
+    if v < 0 || v > 0xFFFFFFFF then
+      invalid_arg "Wire.encode: field out of u32 range";
+    Bytes.set_int32_be w.buf w.pos (Int32.of_int v);
+    w.pos <- w.pos + 4
+
+  let i64 w v =
+    Bytes.set_int64_be w.buf w.pos (Int64.of_int v);
+    w.pos <- w.pos + 8
+
+  let mac w m =
+    let v = Mac.to_int m in
+    u16 w ((v lsr 32) land 0xffff);
+    u32 w (v land 0xFFFFFFFF)
+
+  let ip w v = u32 w (Ipv4.to_int v)
+
+  let pad w n =
+    (* The buffer is born zero-filled; padding is a position bump, but
+       bound-checked so a mis-sized frame still trips. *)
+    if n < 0 || w.pos + n > Bytes.length w.buf then
+      invalid_arg "Wire.encode: padding past frame end";
+    w.pos <- w.pos + n
+end
+
+module R = struct
+  type t = { buf : bytes; mutable pos : int }
+
+  let of_bytes buf = { buf; pos = 0 }
+
+  let need r n =
+    if n < 0 || r.pos + n > Bytes.length r.buf then
+      invalid_arg "Wire.decode: truncated frame"
+
+  let u8 r =
+    need r 1;
+    let v = Bytes.get_uint8 r.buf r.pos in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 r =
+    need r 2;
+    let v = Bytes.get_uint16_be r.buf r.pos in
+    r.pos <- r.pos + 2;
+    v
+
+  let u32 r =
+    need r 4;
+    let v = Int32.to_int (Bytes.get_int32_be r.buf r.pos) land 0xFFFFFFFF in
+    r.pos <- r.pos + 4;
+    v
+
+  let i64 r =
+    need r 8;
+    let v = Int64.to_int (Bytes.get_int64_be r.buf r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let mac r =
+    let hi = u16 r in
+    let lo = u32 r in
+    Mac.of_int ((hi lsl 32) lor lo)
+
+  let ip r = Ipv4.of_int (u32 r)
+
+  let skip r n =
+    need r n;
+    r.pos <- r.pos + n
+end
+
+type 'ext ext = {
+  ext_size : 'ext -> int;
+  ext_write : W.t -> 'ext -> unit;
+  ext_read : R.t -> 'ext;
+}
+
+let unit_ext =
+  { ext_size = (fun () -> 0); ext_write = (fun _ () -> ()); ext_read = (fun _ -> ()) }
+
+(* --- packets ---------------------------------------------------------- *)
+
+let payload_pad pkt =
+  match (Packet.eth_of pkt).Packet.payload with
+  | Packet.Ipv4 p -> p.Packet.length
+  | Packet.Arp _ -> 0
+
+let packet_size ~full pkt =
+  1
+  + (match pkt with Packet.Encap _ -> 8 | Packet.Plain _ -> 0)
+  + Packet.eth_encoded_size (Packet.eth_of pkt)
+  + if full then payload_pad pkt else 0
+
+let write_packet w ~full pkt =
+  (match pkt with
+  | Packet.Plain e ->
+      W.u8 w 0;
+      w.W.pos <- Packet.write_eth_to w.W.buf ~pos:w.W.pos e
+  | Packet.Encap { outer_src; outer_dst; inner } ->
+      W.u8 w 1;
+      W.ip w outer_src;
+      W.ip w outer_dst;
+      w.W.pos <- Packet.write_eth_to w.W.buf ~pos:w.W.pos inner);
+  if full then W.pad w (payload_pad pkt)
+
+let read_eth r =
+  let e, pos = Packet.read_eth_from r.R.buf ~pos:r.R.pos in
+  r.R.pos <- pos;
+  e
+
+let read_packet r =
+  match R.u8 r with
+  | 0 -> Packet.Plain (read_eth r)
+  | 1 ->
+      let outer_src = R.ip r in
+      let outer_dst = R.ip r in
+      let inner = read_eth r in
+      Packet.Encap { outer_src; outer_dst; inner }
+  | _ -> invalid_arg "Wire.decode: bad packet form"
+
+let read_full_packet r =
+  let p = read_packet r in
+  R.skip r (payload_pad p);
+  p
+
+(* --- match ------------------------------------------------------------ *)
+
+let ofmatch_size (m : Ofmatch.t) =
+  let opt n = function Some _ -> n | None -> 0 in
+  2 + opt 6 m.src_mac + opt 6 m.dst_mac + opt 2 m.vlan + opt 4 m.src_ip
+  + opt 4 m.dst_ip + opt 1 m.protocol + opt 2 m.src_port + opt 2 m.dst_port
+
+let write_ofmatch w (m : Ofmatch.t) =
+  let bit i = function Some _ -> 1 lsl i | None -> 0 in
+  let mask =
+    bit 0 m.src_mac lor bit 1 m.dst_mac lor bit 2 m.vlan lor bit 3 m.src_ip
+    lor bit 4 m.dst_ip lor bit 5 m.protocol lor bit 6 m.src_port
+    lor bit 7 m.dst_port
+    lor if m.arp_only then 1 lsl 8 else 0
+  in
+  W.u16 w mask;
+  Option.iter (W.mac w) m.src_mac;
+  Option.iter (W.mac w) m.dst_mac;
+  Option.iter (W.u16 w) m.vlan;
+  Option.iter (W.ip w) m.src_ip;
+  Option.iter (W.ip w) m.dst_ip;
+  Option.iter (W.u8 w) m.protocol;
+  Option.iter (W.u16 w) m.src_port;
+  Option.iter (W.u16 w) m.dst_port
+
+let read_ofmatch r : Ofmatch.t =
+  let mask = R.u16 r in
+  let has i = mask land (1 lsl i) <> 0 in
+  let opt i f = if has i then Some (f r) else None in
+  let src_mac = opt 0 R.mac in
+  let dst_mac = opt 1 R.mac in
+  let vlan = opt 2 R.u16 in
+  let src_ip = opt 3 R.ip in
+  let dst_ip = opt 4 R.ip in
+  let protocol = opt 5 R.u8 in
+  let src_port = opt 6 R.u16 in
+  let dst_port = opt 7 R.u16 in
+  {
+    src_mac;
+    dst_mac;
+    vlan;
+    src_ip;
+    dst_ip;
+    protocol;
+    src_port;
+    dst_port;
+    arp_only = has 8;
+  }
+
+(* --- actions ---------------------------------------------------------- *)
+
+let action_size = function
+  | Action.Deliver _ | Action.Encap _ -> 5
+  | Action.Flood_local | Action.To_controller | Action.Drop -> 1
+
+let actions_size actions =
+  2 + List.fold_left (fun acc a -> acc + action_size a) 0 actions
+
+let write_action w = function
+  | Action.Deliver h ->
+      W.u8 w 0;
+      W.u32 w (Ids.Host_id.to_int h)
+  | Action.Encap ip ->
+      W.u8 w 1;
+      W.ip w ip
+  | Action.Flood_local -> W.u8 w 2
+  | Action.To_controller -> W.u8 w 3
+  | Action.Drop -> W.u8 w 4
+
+let read_action r =
+  match R.u8 r with
+  | 0 -> Action.Deliver (Ids.Host_id.of_int (R.u32 r))
+  | 1 -> Action.Encap (R.ip r)
+  | 2 -> Action.Flood_local
+  | 3 -> Action.To_controller
+  | 4 -> Action.Drop
+  | _ -> invalid_arg "Wire.decode: bad action tag"
+
+let write_actions w actions =
+  W.u16 w (List.length actions);
+  List.iter (write_action w) actions
+
+let read_actions r =
+  let n = R.u16 r in
+  List.init n (fun _ -> read_action r)
+
+(* --- flow-table entries ----------------------------------------------- *)
+
+let opt_time_size = function Some _ -> 9 | None -> 1
+
+let write_opt_time w = function
+  | Some t ->
+      W.u8 w 1;
+      W.i64 w (Time.to_ns t)
+  | None -> W.u8 w 0
+
+let read_opt_time r =
+  match R.u8 r with
+  | 0 -> None
+  | 1 -> Some (Time.of_ns (R.i64 r))
+  | _ -> invalid_arg "Wire.decode: bad timeout presence"
+
+let entry_size (e : Flow_table.entry) =
+  2 + 8 + opt_time_size e.idle_timeout + opt_time_size e.hard_timeout
+  + ofmatch_size e.ofmatch + actions_size e.actions
+
+let write_entry w (e : Flow_table.entry) =
+  W.u16 w e.priority;
+  W.i64 w e.cookie;
+  write_opt_time w e.idle_timeout;
+  write_opt_time w e.hard_timeout;
+  write_ofmatch w e.ofmatch;
+  write_actions w e.actions
+
+let read_entry r : Flow_table.entry =
+  let priority = R.u16 r in
+  let cookie = R.i64 r in
+  let idle_timeout = read_opt_time r in
+  let hard_timeout = read_opt_time r in
+  let ofmatch = read_ofmatch r in
+  let actions = read_actions r in
+  { priority; ofmatch; actions; idle_timeout; hard_timeout; cookie }
+
+(* --- messages --------------------------------------------------------- *)
+
+let body_size ext = function
+  | Message.Hello -> 0
+  | Message.Echo_request _ | Message.Echo_reply _ -> 8
+  | Message.Packet_in { packet; buffer_id; _ } ->
+      1 + 8 + packet_size ~full:(buffer_id = Message.no_buffer) packet
+  | Message.Packet_out { packet; actions } ->
+      actions_size actions + packet_size ~full:true packet
+  | Message.Buffer_out { actions; _ } -> 8 + actions_size actions
+  | Message.Flow_mod (Message.Add e) -> 1 + entry_size e
+  | Message.Flow_mod (Message.Delete m) -> 1 + ofmatch_size m
+  | Message.Extension e -> ext.ext_size e
+
+let message_size ext m = 1 + body_size ext m
+
+let write_message ext w m =
+  match m with
+  | Message.Hello -> W.u8 w 0
+  | Message.Echo_request n ->
+      W.u8 w 1;
+      W.i64 w n
+  | Message.Echo_reply n ->
+      W.u8 w 2;
+      W.i64 w n
+  | Message.Packet_in { packet; reason; buffer_id } ->
+      W.u8 w 3;
+      W.u8 w (match reason with Message.No_match -> 0 | Message.Action_punt -> 1);
+      W.i64 w buffer_id;
+      write_packet w ~full:(buffer_id = Message.no_buffer) packet
+  | Message.Packet_out { packet; actions } ->
+      W.u8 w 4;
+      write_actions w actions;
+      write_packet w ~full:true packet
+  | Message.Buffer_out { buffer_id; actions } ->
+      W.u8 w 5;
+      W.i64 w buffer_id;
+      write_actions w actions
+  | Message.Flow_mod (Message.Add e) ->
+      W.u8 w 6;
+      W.u8 w 0;
+      write_entry w e
+  | Message.Flow_mod (Message.Delete m) ->
+      W.u8 w 6;
+      W.u8 w 1;
+      write_ofmatch w m
+  | Message.Extension e ->
+      W.u8 w 7;
+      ext.ext_write w e
+
+let read_message ext r =
+  match R.u8 r with
+  | 0 -> Message.Hello
+  | 1 -> Message.Echo_request (R.i64 r)
+  | 2 -> Message.Echo_reply (R.i64 r)
+  | 3 ->
+      let reason =
+        match R.u8 r with
+        | 0 -> Message.No_match
+        | 1 -> Message.Action_punt
+        | _ -> invalid_arg "Wire.decode: bad packet_in reason"
+      in
+      let buffer_id = R.i64 r in
+      let packet =
+        if buffer_id = Message.no_buffer then read_full_packet r
+        else read_packet r
+      in
+      Message.Packet_in { packet; reason; buffer_id }
+  | 4 ->
+      let actions = read_actions r in
+      let packet = read_full_packet r in
+      Message.Packet_out { packet; actions }
+  | 5 ->
+      let buffer_id = R.i64 r in
+      let actions = read_actions r in
+      Message.Buffer_out { buffer_id; actions }
+  | 6 -> (
+      match R.u8 r with
+      | 0 -> Message.Flow_mod (Message.Add (read_entry r))
+      | 1 -> Message.Flow_mod (Message.Delete (read_ofmatch r))
+      | _ -> invalid_arg "Wire.decode: bad flow_mod command")
+  | 7 -> Message.Extension (ext.ext_read r)
+  | _ -> invalid_arg "Wire.decode: unknown message type"
+
+let frame_size ext m = header_size + message_size ext m
+
+let encode ext m =
+  let size = frame_size ext m in
+  let w = W.create size in
+  W.u32 w size;
+  W.u8 w version;
+  W.u8 w 0;
+  W.u16 w 0;
+  write_message ext w m;
+  assert (w.W.pos = size);
+  w.W.buf
+
+let decode ext buf =
+  let r = R.of_bytes buf in
+  let len = R.u32 r in
+  if len <> Bytes.length buf then
+    invalid_arg "Wire.decode: frame length mismatch";
+  if R.u8 r <> version then invalid_arg "Wire.decode: bad version";
+  R.skip r 3;
+  let m = read_message ext r in
+  if r.R.pos <> Bytes.length buf then
+    invalid_arg "Wire.decode: trailing bytes";
+  m

@@ -114,7 +114,9 @@ let make_controller ?(n_switches = 4) () =
   in
   (Of_controller.create env Of_controller.default_config, sent)
 
-let packet_in pkt = Message.Packet_in { packet = pkt; reason = Message.No_match }
+let packet_in pkt =
+  Message.Packet_in
+    { packet = pkt; reason = Message.No_match; buffer_id = Message.no_buffer }
 
 let test_controller_floods_unknown () =
   let c, sent = make_controller () in

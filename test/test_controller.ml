@@ -369,7 +369,8 @@ let test_packet_in_installs_intergroup_rule () =
   r.sent := [];
   let pkt = Packet.data ~src:(host 1) ~dst:(host 2) ~length:10 () in
   Controller.handle_message c ~from:(sid 0)
-    (Message.Packet_in { packet = pkt; reason = Message.No_match });
+    (Message.Packet_in
+       { packet = pkt; reason = Message.No_match; buffer_id = Message.no_buffer });
   let to_sw0 = List.filter (fun (sw, _) -> Ids.Switch_id.equal sw (sid 0)) !(r.sent) in
   let flow_mods =
     List.filter (function _, Message.Flow_mod _ -> true | _ -> false) to_sw0
@@ -402,7 +403,8 @@ let test_packet_in_unknown_floods_tenant () =
   r.sent := [];
   let pkt = Packet.data ~src:(host ~tenant:5 1) ~dst:(host ~tenant:5 99) ~length:10 () in
   Controller.handle_message c ~from:(sid 1)
-    (Message.Packet_in { packet = pkt; reason = Message.No_match });
+    (Message.Packet_in
+       { packet = pkt; reason = Message.No_match; buffer_id = Message.no_buffer });
   (* Flood_local Packet_out to tenant switches except the ingress. *)
   let floods =
     List.filter_map

@@ -229,7 +229,10 @@ let test_table_model_based =
 
 let test_message_helpers () =
   let pkt = Packet.data ~src:(host 1) ~dst:(host 2) ~length:10 () in
-  let pin = Message.Packet_in { packet = pkt; reason = Message.No_match } in
+  let pin =
+    Message.Packet_in
+      { packet = pkt; reason = Message.No_match; buffer_id = Message.no_buffer }
+  in
   check Alcotest.bool "is_packet_in" true (Message.is_packet_in pin);
   check Alcotest.bool "hello isn't" false (Message.is_packet_in Message.Hello);
   let size = Message.size_estimate (fun (_ : unit) -> 0) pin in
